@@ -1,0 +1,94 @@
+// Command experiments regenerates every figure of the paper's
+// evaluation and the ablation studies, rendering each as an ASCII
+// table (and optionally CSV files).
+//
+// Usage:
+//
+//	experiments            # quick budgets, all figures to stdout
+//	experiments -full      # EXPERIMENTS.md budgets
+//	experiments -only fig9 # one experiment
+//	experiments -csv out/  # also write CSV per figure
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"greennfv/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+
+	full := flag.Bool("full", false, "use the Full() budgets recorded in EXPERIMENTS.md")
+	only := flag.String("only", "", "run a single experiment: fig1..fig4, fig6..fig11, ablations")
+	csvDir := flag.String("csv", "", "also write CSV files into this directory")
+	flag.Parse()
+
+	o := experiments.Quick()
+	if *full {
+		o = experiments.Full()
+	}
+
+	type job struct {
+		id  string
+		run func() (*experiments.Table, error)
+	}
+	jobs := []job{
+		{"fig1", func() (*experiments.Table, error) { return experiments.Fig1() }},
+		{"fig2", func() (*experiments.Table, error) { return experiments.Fig2() }},
+		{"fig3", func() (*experiments.Table, error) { return experiments.Fig3() }},
+		{"fig4", func() (*experiments.Table, error) { return experiments.Fig4() }},
+		{"fig6", func() (*experiments.Table, error) { t, _, err := experiments.Fig6(o); return t, err }},
+		{"fig7", func() (*experiments.Table, error) { t, _, err := experiments.Fig7(o); return t, err }},
+		{"fig8", func() (*experiments.Table, error) { t, _, err := experiments.Fig8(o); return t, err }},
+		{"fig9", func() (*experiments.Table, error) { t, _, err := experiments.Fig9(o); return t, err }},
+		{"fig10", func() (*experiments.Table, error) { return experiments.Fig10(o) }},
+		{"fig11", func() (*experiments.Table, error) { return experiments.Fig11(o) }},
+		{"validation-des", func() (*experiments.Table, error) { return experiments.ValidationDES() }},
+		{"consolidation", func() (*experiments.Table, error) { return experiments.ExpConsolidation() }},
+		{"ablation-per", func() (*experiments.Table, error) { return experiments.AblationPER(o) }},
+		{"ablation-actors", func() (*experiments.Table, error) { return experiments.AblationActors(o) }},
+		{"ablation-knobs", func() (*experiments.Table, error) { return experiments.AblationKnobs(o) }},
+		{"ablation-reward", func() (*experiments.Table, error) { return experiments.AblationReward(o) }},
+	}
+
+	ran := 0
+	for _, j := range jobs {
+		if *only != "" && j.id != *only && !(*only == "ablations" && len(j.id) > 3 && j.id[:3] == "abl") {
+			continue
+		}
+		t, err := j.run()
+		if err != nil {
+			log.Fatalf("%s: %v", j.id, err)
+		}
+		if err := t.Render(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		if *csvDir != "" {
+			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+				log.Fatal(err)
+			}
+			f, err := os.Create(filepath.Join(*csvDir, t.ID+".csv"))
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := t.WriteCSV(f); err != nil {
+				f.Close()
+				log.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}
+		ran++
+	}
+	if ran == 0 {
+		log.Fatalf("no experiment matches -only %q", *only)
+	}
+	fmt.Printf("ran %d experiments\n", ran)
+}

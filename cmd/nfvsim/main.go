@@ -1,0 +1,126 @@
+// Command nfvsim runs the packet-level OpenNetVM-style pipeline: a
+// traffic generator feeding a real service chain of NF
+// implementations (lock-free rings, bounded mempool, poll/callback
+// workers), reporting functional counters and pipeline behaviour.
+//
+// Usage:
+//
+//	nfvsim -packets 100000 -chain firewall,nat,ids -pps 1e6 -frame 256
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"greennfv/internal/onvm"
+	"greennfv/internal/traffic"
+)
+
+func buildHandler(name string) (onvm.Handler, error) {
+	switch name {
+	case "firewall":
+		return onvm.NewFirewall([]onvm.FirewallRule{
+			{DstPortLo: 22, DstPortHi: 22, Action: onvm.FirewallDeny},
+		}, true), nil
+	case "nat":
+		return onvm.NewNAT([4]byte{203, 0, 113, 1}), nil
+	case "router":
+		return onvm.NewRouter([]onvm.Route{
+			{Prefix: [4]byte{10, 0, 0, 0}, Bits: 8, Port: 1},
+		}, 0)
+	case "ids":
+		return onvm.NewIDS([][]byte{[]byte("EVIL"), []byte("exploit")}, false)
+	case "crypto":
+		return onvm.NewCryptoNF(bytes.Repeat([]byte{0x5a}, 16))
+	case "monitor":
+		return onvm.NewMonitor(), nil
+	case "dpi":
+		return onvm.NewDPI(), nil
+	case "loadbalancer":
+		return onvm.NewLoadBalancer(4)
+	case "ratelimiter":
+		return onvm.NewRateLimiter(2e6, 1024)
+	case "vxlan":
+		return onvm.NewVXLANTunnel(42, false)
+	default:
+		return nil, fmt.Errorf("unknown NF %q (have firewall,nat,router,ids,crypto,monitor,dpi,loadbalancer,ratelimiter,vxlan)", name)
+	}
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("nfvsim: ")
+
+	packets := flag.Int("packets", 100000, "packets to inject")
+	chainSpec := flag.String("chain", "firewall,nat,monitor", "comma-separated NF list")
+	pps := flag.Float64("pps", 1e6, "offered packet rate")
+	frame := flag.Int("frame", 256, "frame size in bytes")
+	batch := flag.Int("batch", 32, "NF dequeue burst size")
+	ringCap := flag.Int("ring", 4096, "per-NF ring capacity (power of two)")
+	pool := flag.Int("pool", 8192, "mempool size in mbufs")
+	seed := flag.Int64("seed", 1, "traffic seed")
+	flag.Parse()
+
+	var handlers []onvm.Handler
+	for _, name := range strings.Split(*chainSpec, ",") {
+		h, err := buildHandler(strings.TrimSpace(name))
+		if err != nil {
+			log.Fatal(err)
+		}
+		handlers = append(handlers, h)
+	}
+	chain, err := onvm.NewChain("sim", onvm.ChainConfig{RingCap: *ringCap, Batch: *batch}, handlers...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mgr, err := onvm.NewManager(onvm.ManagerConfig{
+		PoolSize: *pool, PollSpins: 64, DrainTimeout: 30 * time.Second,
+	}, chain)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	flow, err := traffic.SimpleFlow(1, *pps, *frame)
+	if err != nil {
+		log.Fatal(err)
+	}
+	gen, err := traffic.NewGenerator(*seed, flow)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sent := 0
+	src := &onvm.GeneratorSource{Next: func() ([]byte, float64, bool) {
+		if sent >= *packets {
+			return nil, 0, false
+		}
+		sent++
+		ev := gen.Next()
+		return ev.Frame, ev.Time, true
+	}}
+
+	fmt.Printf("chain: %v\n", chain)
+	res, err := mgr.Run([]onvm.Source{src}, *packets)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\ninjected:   %d packets (%.2f Mpps offered over %.3fs virtual)\n",
+		res.Injected, *pps/1e6, res.VirtualSpan)
+	fmt.Printf("completed:  %d packets in %v wall (%.2f Mpps pipeline rate)\n",
+		res.Completed, res.Duration.Round(time.Millisecond),
+		float64(res.Completed)/res.Duration.Seconds()/1e6)
+	fmt.Printf("drained:    %v\n", res.Drained)
+	st := mgr.Stats()
+	fmt.Printf("rx drops:   %d no-mbuf, %d ring-full, %d oversized\n",
+		st.RxDropsNoMbuf.Load(), st.RxDropsRing.Load(), st.RxDropsTooLong.Load())
+	fmt.Println("\nper-NF counters:")
+	for _, nf := range chain.NFs() {
+		s := nf.Stats().Snapshot()
+		fmt.Printf("  %-12s rx=%-8d tx=%-8d drop=%-6d ringdrop=%-6d wakeups=%-6d batches=%d\n",
+			nf.Name(), s.RxPackets, s.TxPackets, s.Dropped, s.RingDrops, s.Wakeups, s.BatchesSeen)
+	}
+}

@@ -1,0 +1,88 @@
+// Command trafficgen is the MoonGen-equivalent workload tool: it
+// reports line-rate framing math for a link, previews arrival
+// processes, and can emit an inter-arrival trace for replay.
+//
+// Usage:
+//
+//	trafficgen -frame 64                    # line-rate math
+//	trafficgen -process mmpp -pps 1e6 -n 20 # preview inter-arrivals
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"greennfv/internal/stats"
+	"greennfv/internal/traffic"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("trafficgen: ")
+
+	frame := flag.Int("frame", 64, "frame size in bytes")
+	link := flag.Float64("link", 10e9, "link speed in bits/second")
+	process := flag.String("process", "", "preview arrivals: cbr | poisson | mmpp | onoff")
+	pps := flag.Float64("pps", 1e6, "mean packet rate for the preview")
+	n := flag.Int("n", 10, "preview length")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	lr := traffic.LineRatePPS(*link, *frame)
+	fmt.Printf("link %.1f Gb/s, frame %d B:\n", *link/1e9, *frame)
+	fmt.Printf("  line rate: %.3f Mpps (%.3f Gbps goodput)\n",
+		lr/1e6, traffic.ThroughputBps(lr, *frame)/1e9)
+
+	if *process == "" {
+		return
+	}
+	var arr traffic.Arrival
+	var err error
+	switch *process {
+	case "cbr":
+		arr, err = traffic.NewCBR(*pps)
+	case "poisson":
+		arr, err = traffic.NewPoisson(*pps)
+	case "mmpp":
+		arr, err = traffic.NewMMPP(*pps*4, *pps/4, 0.1, 0.3)
+	case "onoff":
+		arr, err = traffic.NewOnOff(*pps*2, 0.5, 0.5)
+	default:
+		log.Fatalf("unknown process %q", *process)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(*seed))
+	fmt.Printf("\n%s process, mean %.0f pps — first %d inter-arrival gaps (us):\n",
+		*process, arr.MeanPPS(), *n)
+	counts := make([]float64, 0, 64)
+	window := 0.0
+	inWindow := 0.0
+	for i := 0; i < *n; i++ {
+		gap := arr.Next(rng)
+		fmt.Printf("  %.3f", gap*1e6)
+		window += gap
+		inWindow++
+		if window >= 0.001 {
+			counts = append(counts, inWindow)
+			window, inWindow = 0, 0
+		}
+	}
+	fmt.Println()
+	// Extended run for burstiness.
+	for i := 0; i < 100000; i++ {
+		gap := arr.Next(rng)
+		window += gap
+		inWindow++
+		if window >= 0.001 {
+			counts = append(counts, inWindow)
+			window, inWindow = 0, 0
+		}
+	}
+	fmt.Printf("index of dispersion over 1ms windows: %.2f (CBR~0, Poisson~1, bursty>1)\n",
+		stats.IndexOfDispersion(counts))
+}

@@ -1,0 +1,146 @@
+// distributed runs the Ape-X architecture across process boundaries
+// the way the paper's six-node deployment does: a central learner
+// served over net/rpc on localhost, with several actor goroutines
+// connecting as RPC clients, each with its own environment and
+// exploration intensity.
+package main
+
+import (
+	"fmt"
+	"log"
+	"runtime"
+	"sync"
+
+	"greennfv/internal/env"
+	"greennfv/internal/perfmodel"
+	"greennfv/internal/rl/apex"
+	"greennfv/internal/rl/ddpg"
+	"greennfv/internal/sla"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	mkEnv := func(seed int64) (*env.Env, error) {
+		return env.New(env.Config{
+			Model:      perfmodel.Default(),
+			Chain:      perfmodel.StandardChain(),
+			Bounds:     perfmodel.DefaultBounds(),
+			SLA:        sla.NewEnergyEfficiency(),
+			Flows:      env.StandardWorkload(),
+			LoadJitter: 0.03,
+			Seed:       seed,
+		})
+	}
+	probe, err := mkEnv(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	agentCfg := ddpg.DefaultConfig(probe.StateDim(), probe.ActionDim())
+	agentCfg.Seed = 7
+	learnerAgent, err := ddpg.New(agentCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	learner, err := apex.NewLearner(learnerAgent)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv, err := apex.Serve(learner, "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	fmt.Printf("central learner listening on %s\n", srv.Addr())
+
+	const actors = 3
+	const stepsPerActor = 400
+	var wg sync.WaitGroup
+	for id := 0; id < actors; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			client, err := apex.Dial(srv.Addr())
+			if err != nil {
+				log.Printf("actor %d: %v", id, err)
+				return
+			}
+			defer client.Close()
+			e, err := mkEnv(int64(100 + id))
+			if err != nil {
+				log.Printf("actor %d: %v", id, err)
+				return
+			}
+			aCfg := agentCfg
+			aCfg.Seed = int64(200 + id)
+			aCfg.OUSigma = 0.3 * (1 + 0.5*float64(id)) // exploration ladder
+			actor, err := apex.NewActor(apex.ActorConfig{
+				ID: id, Env: e, AgentConfig: aCfg, PushEvery: 8, SyncEvery: 16,
+			})
+			if err != nil {
+				log.Printf("actor %d: %v", id, err)
+				return
+			}
+			for i := 0; i < stepsPerActor; i++ {
+				if _, _, err := actor.Step(client); err != nil {
+					log.Printf("actor %d step %d: %v", id, i, err)
+					return
+				}
+			}
+			fmt.Printf("actor %d finished %d steps\n", id, actor.Steps())
+		}(id)
+	}
+
+	// Learner loop: update while actors stream experience, pacing
+	// updates against the experience actually received so the policy
+	// does not overfit the first few transitions while actors are
+	// still warming up.
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	updates := 0
+	for {
+		select {
+		case <-done:
+			// Final updates on the last experience.
+			for i := 0; i < 200; i++ {
+				learner.LearnStep(8)
+				updates++
+			}
+			pushes, transitions := learner.Stats()
+			fmt.Printf("\nlearner: %d updates, %d pushes, %d transitions in replay\n",
+				updates, pushes, transitions)
+
+			// Evaluate the learned policy greedily.
+			e, err := mkEnv(999)
+			if err != nil {
+				log.Fatal(err)
+			}
+			state := e.Reset(999)
+			var last float64
+			var lastE float64
+			for i := 0; i < 5; i++ {
+				action := learner.Agent().Greedy(state)
+				next, _, info, err := e.Step(action)
+				if err != nil {
+					log.Fatal(err)
+				}
+				state = next
+				last, lastE = info.ThroughputGbps, info.EnergyJoules
+			}
+			fmt.Printf("greedy policy: %.2f Gbps at %.0f J per window\n", last, lastE)
+			return
+		default:
+			_, transitions := learner.Stats()
+			if updates < 2*transitions {
+				learner.LearnStep(8)
+				updates++
+			} else {
+				runtime.Gosched()
+			}
+		}
+	}
+}

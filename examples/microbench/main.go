@@ -1,0 +1,28 @@
+// microbench reproduces the paper's §3 resource-impact analysis
+// (Figures 1–4): the individual effect of LLC allocation, CPU
+// frequency, batch size and DMA buffer size on NF chain throughput
+// and energy.
+package main
+
+import (
+	"log"
+	"os"
+
+	"greennfv/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	for _, run := range []func() (*experiments.Table, error){
+		experiments.Fig1, experiments.Fig2, experiments.Fig3, experiments.Fig4,
+	} {
+		t, err := run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := t.Render(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,46 @@
+// Quickstart: train a GreenNFV Energy-Efficiency policy on the
+// paper's standard chain and five-flow workload, then compare it to
+// the untuned baseline.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"greennfv"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	sys, err := greennfv.NewSystem(greennfv.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("measuring the untuned baseline (performance governor, busy-poll)...")
+	base, err := sys.MeasureBaseline(greennfv.Baseline)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  baseline: %.2f Gbps at %.0f J per window (%.2f Gbps/kJ)\n\n",
+		base.ThroughputGbps, base.EnergyJ, base.EfficiencyGbpsPerKJ)
+
+	fmt.Println("training GreenNFV with the Energy-Efficiency SLA (max T/E)...")
+	policy, err := sys.Train(greennfv.EfficiencySLA(), greennfv.TrainOptions{Steps: 2000, Actors: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	m, err := sys.Measure(policy)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  GreenNFV: %.2f Gbps at %.0f J per window (%.2f Gbps/kJ)\n\n",
+		m.ThroughputGbps, m.EnergyJ, m.EfficiencyGbpsPerKJ)
+
+	fmt.Printf("speedup: %.1fx at %.0f%% of baseline energy — efficiency gain %.1fx\n",
+		m.ThroughputGbps/base.ThroughputGbps,
+		m.EnergyJ/base.EnergyJ*100,
+		m.EfficiencyGbpsPerKJ/base.EfficiencyGbpsPerKJ)
+}

@@ -1,0 +1,77 @@
+// slacompare reproduces the paper's headline comparison (Figure 9
+// scenario) through the public API: all three GreenNFV SLA models
+// against the non-learning baselines, under the same workload.
+//
+// Expected shape (paper §5): MaxT ≈ 4.4x baseline throughput at ~33%
+// less energy; MinE ≈ 3x at ~half the energy; EE ≈ 4x.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"greennfv"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	sys, err := greennfv.NewSystem(greennfv.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	type row struct {
+		name string
+		m    greennfv.Measurement
+	}
+	var rows []row
+
+	for _, b := range []greennfv.BaselineName{greennfv.Baseline, greennfv.Heuristic, greennfv.EEPstate} {
+		m, err := sys.MeasureBaseline(b)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows = append(rows, row{string(b), m})
+	}
+
+	maxT, err := greennfv.MaxThroughputSLA(2000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	minE, err := greennfv.MinEnergySLA(7.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	agreements := []struct {
+		name string
+		sla  greennfv.SLA
+	}{
+		{"GreenNFV(MinE)", minE},
+		{"GreenNFV(MaxT)", maxT},
+		{"GreenNFV(EE)", greennfv.EfficiencySLA()},
+	}
+	for _, a := range agreements {
+		fmt.Printf("training %s — %s ...\n", a.name, a.sla.Describe())
+		policy, err := sys.Train(a.sla, greennfv.TrainOptions{Steps: 2500, Actors: 4})
+		if err != nil {
+			log.Fatal(err)
+		}
+		m, err := sys.Measure(policy)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows = append(rows, row{a.name, m})
+	}
+
+	base := rows[0].m
+	fmt.Printf("\n%-16s %-8s %-10s %-9s %-9s %-6s\n",
+		"model", "Gbps", "energy J", "speedup", "energy%", "SLA ok")
+	for _, r := range rows {
+		fmt.Printf("%-16s %-8.2f %-10.0f %-9.2f %-9.0f %-6v\n",
+			r.name, r.m.ThroughputGbps, r.m.EnergyJ,
+			r.m.ThroughputGbps/base.ThroughputGbps,
+			r.m.EnergyJ/base.EnergyJ*100,
+			r.m.SLASatisfied)
+	}
+}

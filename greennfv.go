@@ -1,0 +1,300 @@
+// Package greennfv is the public API of the GreenNFV reproduction:
+// energy-efficient NFV resource scheduling under SLA constraints
+// (Nine, Kosar, Bulut, Hwang — SC 2023).
+//
+// The library models an NFV node (OpenNetVM-style service chains on a
+// dual-socket Xeon with DVFS, Intel CAT cache partitioning, DDIO and
+// DMA buffers), offers three SLA families (maximum throughput under
+// an energy budget, minimum energy under a throughput floor, and
+// unconstrained energy efficiency), and trains a DDPG policy with
+// the Ape-X distributed prioritized-replay architecture to drive the
+// five per-NF resource knobs: CPU share, core frequency, LLC
+// allocation, DMA buffer size and packet batch size.
+//
+// Quickstart:
+//
+//	sys, _ := greennfv.NewSystem(greennfv.DefaultConfig())
+//	policy, _ := sys.Train(greennfv.EfficiencySLA(), greennfv.TrainOptions{Steps: 4000})
+//	m, _ := sys.Measure(policy)
+//	fmt.Printf("%.1f Gbps at %.0f J\n", m.ThroughputGbps, m.EnergyJ)
+package greennfv
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"greennfv/internal/control"
+	"greennfv/internal/env"
+	"greennfv/internal/perfmodel"
+	"greennfv/internal/sla"
+)
+
+// Flow describes one offered traffic stream.
+type Flow struct {
+	// PPS is the mean packet rate.
+	PPS float64
+	// FrameBytes is the Ethernet frame size (64–1518).
+	FrameBytes int
+	// Burstiness is the index of dispersion (1 = Poisson).
+	Burstiness float64
+}
+
+// ChainPreset selects one of the calibrated service chains.
+type ChainPreset int
+
+// Available chain presets.
+const (
+	// StandardChain is the paper's 3-NF evaluation chain
+	// (firewall → NAT → monitor class).
+	StandardChain ChainPreset = iota
+	// HeavyChain is cache- and payload-hungry (IDS → crypto →
+	// router class).
+	HeavyChain
+	// LightChain is a 2-NF header-only chain.
+	LightChain
+)
+
+// SLA is an opaque service-level agreement.
+type SLA struct{ spec sla.SLA }
+
+// MaxThroughputSLA maximizes throughput subject to an energy budget
+// in joules per 10-second measurement window (paper eq. 1).
+func MaxThroughputSLA(energyBudgetJ float64) (SLA, error) {
+	s, err := sla.NewMaxThroughput(energyBudgetJ)
+	return SLA{spec: s}, err
+}
+
+// MinEnergySLA minimizes energy subject to a throughput floor in
+// Gbps (paper eq. 2).
+func MinEnergySLA(minGbps float64) (SLA, error) {
+	s, err := sla.NewMinEnergy(minGbps)
+	return SLA{spec: s}, err
+}
+
+// EfficiencySLA maximizes throughput per unit energy (paper eq. 3).
+func EfficiencySLA() SLA { return SLA{spec: sla.NewEnergyEfficiency()} }
+
+// Describe renders the SLA.
+func (s SLA) Describe() string { return s.spec.Describe() }
+
+// Config assembles a system.
+type Config struct {
+	// Chain selects the service chain preset.
+	Chain ChainPreset
+	// Flows is the offered workload; nil selects the paper's
+	// five-flow evaluation mix.
+	Flows []Flow
+	// LoadJitter is per-interval relative load noise.
+	LoadJitter float64
+	// Seed fixes randomness.
+	Seed int64
+}
+
+// DefaultConfig returns the paper's evaluation setup.
+func DefaultConfig() Config {
+	return Config{Chain: StandardChain, LoadJitter: 0.03, Seed: 17}
+}
+
+// Measurement is one control-interval outcome.
+type Measurement struct {
+	ThroughputGbps float64
+	EnergyJ        float64
+	// EfficiencyGbpsPerKJ is the paper's λ.
+	EfficiencyGbpsPerKJ float64
+	CPUPercent          float64
+	PowerWatts          float64
+	MissRate            float64
+	SLASatisfied        bool
+}
+
+// System is a configured NFV node simulation.
+type System struct {
+	cfg   Config
+	chain perfmodel.ChainSpec
+	flows []env.FlowLoad
+}
+
+// NewSystem validates the configuration and builds a system.
+func NewSystem(cfg Config) (*System, error) {
+	var chain perfmodel.ChainSpec
+	switch cfg.Chain {
+	case StandardChain:
+		chain = perfmodel.StandardChain()
+	case HeavyChain:
+		chain = perfmodel.HeavyChain()
+	case LightChain:
+		chain = perfmodel.LightChain()
+	default:
+		return nil, fmt.Errorf("greennfv: unknown chain preset %d", cfg.Chain)
+	}
+	flows := make([]env.FlowLoad, 0, len(cfg.Flows))
+	for _, f := range cfg.Flows {
+		flows = append(flows, env.FlowLoad{PPS: f.PPS, FrameBytes: f.FrameBytes, Burstiness: f.Burstiness})
+	}
+	if len(flows) == 0 {
+		flows = env.StandardWorkload()
+	}
+	if _, err := env.Aggregate(flows); err != nil {
+		return nil, err
+	}
+	return &System{cfg: cfg, chain: chain, flows: flows}, nil
+}
+
+// factory builds environments for controllers.
+func (s *System) factory(slaSpec sla.SLA) control.EnvFactory {
+	return func(seed int64, opts perfmodel.EvalOptions) (*env.Env, error) {
+		return env.New(env.Config{
+			Model:      perfmodel.Default(),
+			Chain:      s.chain,
+			Bounds:     perfmodel.DefaultBounds(),
+			SLA:        slaSpec,
+			Flows:      s.flows,
+			LoadJitter: s.cfg.LoadJitter,
+			Options:    opts,
+			Seed:       seed,
+		})
+	}
+}
+
+// TrainOptions sizes a training run.
+type TrainOptions struct {
+	// Steps is the total training episodes (paper-scale runs use
+	// tens of thousands; 4000 reproduces the shapes).
+	Steps int
+	// Actors is the Ape-X worker count (default 4).
+	Actors int
+}
+
+// Policy is a trained GreenNFV controller bound to its SLA.
+type Policy struct {
+	slaSpec sla.SLA
+	ctl     *control.GreenNFV
+}
+
+// Train runs Ape-X DDPG training for the SLA and returns the policy.
+func (s *System) Train(agreement SLA, opts TrainOptions) (*Policy, error) {
+	if opts.Steps <= 0 {
+		return nil, errors.New("greennfv: TrainOptions.Steps must be positive")
+	}
+	actors := opts.Actors
+	if actors <= 0 {
+		actors = 4
+	}
+	g := control.NewGreenNFV(agreement.spec, opts.Steps, actors, s.cfg.Seed)
+	if err := g.Prepare(s.factory(agreement.spec)); err != nil {
+		return nil, err
+	}
+	return &Policy{slaSpec: agreement.spec, ctl: g}, nil
+}
+
+// TrainingCurve reports the recorded training-progress points
+// (episode, throughput Gbps, energy J, efficiency). A loaded policy
+// has no curve.
+func (p *Policy) TrainingCurve() (episodes []int, tput, energy, efficiency []float64) {
+	if p.ctl.Trainer() == nil {
+		return
+	}
+	for _, s := range p.ctl.Trainer().Snapshots {
+		episodes = append(episodes, s.Episode)
+		tput = append(tput, s.ThroughputGbps)
+		energy = append(energy, s.EnergyJ)
+		efficiency = append(efficiency, s.Efficiency)
+	}
+	return
+}
+
+// Save writes the trained policy network to w. A saved policy can be
+// reloaded with System.LoadPolicy — the train-once / deploy-many
+// workflow whose energy amortization Figure 11 quantifies.
+func (p *Policy) Save(w io.Writer) error {
+	if p == nil || p.ctl == nil {
+		return errors.New("greennfv: nil policy")
+	}
+	return p.ctl.SaveActor(w)
+}
+
+// LoadPolicy reads a policy checkpoint saved by Policy.Save, binding
+// it to the given SLA for constraint reporting.
+func (s *System) LoadPolicy(agreement SLA, r io.Reader) (*Policy, error) {
+	// State and action dimensions follow from the chain length.
+	probe, err := s.factory(agreement.spec)(s.cfg.Seed, perfmodel.EvalOptions{})
+	if err != nil {
+		return nil, err
+	}
+	ctl, err := control.NewGreenNFVFromActor(agreement.spec, probe.StateDim(), probe.ActionDim(), r)
+	if err != nil {
+		return nil, err
+	}
+	ctl.Seed = s.cfg.Seed
+	return &Policy{slaSpec: agreement.spec, ctl: ctl}, nil
+}
+
+// Measure deploys the policy for several control intervals and
+// returns the settled measurement.
+func (s *System) Measure(p *Policy) (Measurement, error) {
+	if p == nil || p.ctl == nil {
+		return Measurement{}, errors.New("greennfv: nil policy")
+	}
+	tput, energy, last, err := control.Run(p.ctl, s.factory(p.slaSpec), s.cfg.Seed+1000, 20, 10)
+	if err != nil {
+		return Measurement{}, err
+	}
+	return Measurement{
+		ThroughputGbps:      tput,
+		EnergyJ:             energy,
+		EfficiencyGbpsPerKJ: tput / (energy / 1000),
+		CPUPercent:          last.CPUPercent,
+		PowerWatts:          last.PowerWatts,
+		MissRate:            last.MissRate,
+		SLASatisfied:        p.slaSpec.Satisfied(tput, energy),
+	}, nil
+}
+
+// BaselineName selects one of the comparison controllers.
+type BaselineName string
+
+// Comparison controllers from the paper's evaluation.
+const (
+	// Baseline is the untuned busy-poll platform.
+	Baseline BaselineName = "baseline"
+	// Heuristic is Algorithm 1 of the paper.
+	Heuristic BaselineName = "heuristic"
+	// EEPstate is the Iqbal & John P/C-state scheme.
+	EEPstate BaselineName = "ee-pstate"
+)
+
+// MeasureBaseline runs one of the non-learning comparison controllers
+// and returns its settled measurement.
+func (s *System) MeasureBaseline(name BaselineName) (Measurement, error) {
+	var c control.Controller
+	steps, settle := 12, 6
+	switch name {
+	case Baseline:
+		c = control.NewBaseline()
+	case Heuristic:
+		c = control.NewHeuristic()
+		steps, settle = 400, 50
+	case EEPstate:
+		c = control.NewEEPstate()
+		steps, settle = 50, 10
+	default:
+		return Measurement{}, fmt.Errorf("greennfv: unknown baseline %q", name)
+	}
+	if err := c.Prepare(s.factory(sla.NewEnergyEfficiency())); err != nil {
+		return Measurement{}, err
+	}
+	tput, energy, last, err := control.Run(c, s.factory(sla.NewEnergyEfficiency()), s.cfg.Seed+1000, steps, settle)
+	if err != nil {
+		return Measurement{}, err
+	}
+	return Measurement{
+		ThroughputGbps:      tput,
+		EnergyJ:             energy,
+		EfficiencyGbpsPerKJ: tput / (energy / 1000),
+		CPUPercent:          last.CPUPercent,
+		PowerWatts:          last.PowerWatts,
+		MissRate:            last.MissRate,
+		SLASatisfied:        true,
+	}, nil
+}

@@ -1,0 +1,168 @@
+package greennfv
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSLAConstructors(t *testing.T) {
+	if _, err := MaxThroughputSLA(0); err == nil {
+		t.Error("zero budget accepted")
+	}
+	if _, err := MinEnergySLA(-1); err == nil {
+		t.Error("negative floor accepted")
+	}
+	s, err := MaxThroughputSLA(2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(s.Describe(), "2000") {
+		t.Errorf("describe = %q", s.Describe())
+	}
+	if EfficiencySLA().Describe() == "" {
+		t.Error("empty EE description")
+	}
+}
+
+func TestNewSystemValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Chain = ChainPreset(99)
+	if _, err := NewSystem(cfg); err == nil {
+		t.Error("bad preset accepted")
+	}
+	cfg = DefaultConfig()
+	cfg.Flows = []Flow{{PPS: -1, FrameBytes: 64}}
+	if _, err := NewSystem(cfg); err == nil {
+		t.Error("bad flow accepted")
+	}
+	for _, preset := range []ChainPreset{StandardChain, HeavyChain, LightChain} {
+		cfg = DefaultConfig()
+		cfg.Chain = preset
+		if _, err := NewSystem(cfg); err != nil {
+			t.Errorf("preset %d: %v", preset, err)
+		}
+	}
+}
+
+func TestTrainMeasureRoundTrip(t *testing.T) {
+	sys, err := NewSystem(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Train(EfficiencySLA(), TrainOptions{}); err == nil {
+		t.Error("zero steps accepted")
+	}
+	policy, err := sys.Train(EfficiencySLA(), TrainOptions{Steps: 300, Actors: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eps, tput, energy, eff := policy.TrainingCurve()
+	if len(eps) == 0 || len(tput) != len(eps) || len(energy) != len(eps) || len(eff) != len(eps) {
+		t.Fatalf("curve lengths %d/%d/%d/%d", len(eps), len(tput), len(energy), len(eff))
+	}
+	m, err := sys.Measure(policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ThroughputGbps <= 0 || m.EnergyJ <= 0 || m.EfficiencyGbpsPerKJ <= 0 {
+		t.Errorf("measurement %+v", m)
+	}
+	if _, err := sys.Measure(nil); err == nil {
+		t.Error("nil policy accepted")
+	}
+}
+
+func TestMeasureBaselines(t *testing.T) {
+	sys, err := NewSystem(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := sys.MeasureBaseline(Baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heur, err := sys.MeasureBaseline(Heuristic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eep, err := sys.MeasureBaseline(EEPstate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if heur.ThroughputGbps <= base.ThroughputGbps {
+		t.Errorf("heuristic %.2f not above baseline %.2f", heur.ThroughputGbps, base.ThroughputGbps)
+	}
+	if eep.EnergyJ >= base.EnergyJ {
+		t.Errorf("EE-Pstate energy %.0f not below baseline %.0f", eep.EnergyJ, base.EnergyJ)
+	}
+	if _, err := sys.MeasureBaseline("nope"); err == nil {
+		t.Error("unknown baseline accepted")
+	}
+}
+
+func TestCustomWorkload(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Flows = []Flow{
+		{PPS: 1e6, FrameBytes: 256, Burstiness: 2},
+		{PPS: 500e3, FrameBytes: 1024, Burstiness: 1},
+	}
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sys.MeasureBaseline(Baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ThroughputGbps <= 0 {
+		t.Error("custom workload produced no throughput")
+	}
+}
+
+func TestPolicySaveLoadRoundTrip(t *testing.T) {
+	sys, err := NewSystem(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	policy, err := sys.Train(EfficiencySLA(), TrainOptions{Steps: 250, Actors: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := policy.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("empty checkpoint")
+	}
+	loaded, err := sys.LoadPolicy(EfficiencySLA(), &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, err := sys.Measure(policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := sys.Measure(loaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.ThroughputGbps != m2.ThroughputGbps || m1.EnergyJ != m2.EnergyJ {
+		t.Errorf("loaded policy differs: %+v vs %+v", m1, m2)
+	}
+	// A loaded policy has no training curve.
+	eps, _, _, _ := loaded.TrainingCurve()
+	if len(eps) != 0 {
+		t.Error("loaded policy reports a training curve")
+	}
+	// Corrupt checkpoints are rejected.
+	if _, err := sys.LoadPolicy(EfficiencySLA(), strings.NewReader("garbage")); err == nil {
+		t.Error("garbage checkpoint accepted")
+	}
+	// Saving a nil policy errors.
+	var nilPolicy *Policy
+	if err := nilPolicy.Save(&buf); err == nil {
+		t.Error("nil policy save accepted")
+	}
+}

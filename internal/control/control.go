@@ -1,0 +1,91 @@
+// Package control implements the five resource controllers the
+// paper's evaluation compares (Figure 9): the untuned Baseline, the
+// heuristic of Algorithm 1, the EE-Pstate scheme of Iqbal & John with
+// a DES traffic predictor, the tabular Q-learning model, and
+// GreenNFV itself (DDPG + Ape-X). All controllers drive the same
+// environment through one interface so the comparison is apples to
+// apples.
+package control
+
+import (
+	"errors"
+
+	"greennfv/internal/env"
+	"greennfv/internal/perfmodel"
+)
+
+// EnvFactory builds a fresh environment for a controller: seed varies
+// per training actor, opts select the controller's platform variant.
+type EnvFactory func(seed int64, opts perfmodel.EvalOptions) (*env.Env, error)
+
+// Controller is one resource-management policy under comparison.
+type Controller interface {
+	// Name identifies the controller in reports.
+	Name() string
+	// Options reports the platform variant the controller runs on
+	// (busy-poll vs poll/callback mix, C-state policy).
+	Options() perfmodel.EvalOptions
+	// Prepare trains or initializes the controller. Controllers
+	// without a training phase return nil immediately.
+	Prepare(factory EnvFactory) error
+	// Step runs one control interval on the environment: observe,
+	// decide, apply knobs, and return the resulting measurement.
+	Step(e *env.Env) (perfmodel.Result, error)
+}
+
+// Run drives a prepared controller for `steps` intervals on a fresh
+// environment and returns the mean of the last `settle` measurements
+// (throughput Gbps, energy J) plus the final measurement.
+func Run(c Controller, factory EnvFactory, seed int64, steps, settle int) (avgTput, avgEnergy float64, last perfmodel.Result, err error) {
+	if steps <= 0 {
+		return 0, 0, perfmodel.Result{}, errors.New("control: steps must be positive")
+	}
+	if settle <= 0 || settle > steps {
+		settle = steps
+	}
+	e, err := factory(seed, c.Options())
+	if err != nil {
+		return 0, 0, perfmodel.Result{}, err
+	}
+	var tputs, energies []float64
+	for i := 0; i < steps; i++ {
+		res, err := c.Step(e)
+		if err != nil {
+			return 0, 0, perfmodel.Result{}, err
+		}
+		last = res
+		tputs = append(tputs, res.ThroughputGbps)
+		energies = append(energies, res.EnergyJoules)
+	}
+	for i := steps - settle; i < steps; i++ {
+		avgTput += tputs[i]
+		avgEnergy += energies[i]
+	}
+	avgTput /= float64(settle)
+	avgEnergy /= float64(settle)
+	return avgTput, avgEnergy, last, nil
+}
+
+// Baseline is the untuned platform: performance governor (max
+// frequency), stock defaults for every other knob, DPDK busy-poll
+// with C-states disabled. It never adapts.
+type Baseline struct{}
+
+// NewBaseline returns the Baseline controller.
+func NewBaseline() *Baseline { return &Baseline{} }
+
+// Name implements Controller.
+func (b *Baseline) Name() string { return "Baseline" }
+
+// Options implements Controller: full busy-poll, no sleeping.
+func (b *Baseline) Options() perfmodel.EvalOptions {
+	return perfmodel.EvalOptions{BusyPoll: true, NoSleep: true}
+}
+
+// Prepare implements Controller (no training).
+func (b *Baseline) Prepare(EnvFactory) error { return nil }
+
+// Step implements Controller: reapply platform defaults.
+func (b *Baseline) Step(e *env.Env) (perfmodel.Result, error) {
+	return e.SetKnobs(perfmodel.DefaultKnobs(e.NumNFs()))
+}

@@ -1,0 +1,168 @@
+package control
+
+import (
+	"testing"
+
+	"greennfv/internal/env"
+	"greennfv/internal/perfmodel"
+	"greennfv/internal/sla"
+)
+
+func factory(t *testing.T) EnvFactory {
+	t.Helper()
+	return func(seed int64, opts perfmodel.EvalOptions) (*env.Env, error) {
+		return env.New(env.Config{
+			Model:      perfmodel.Default(),
+			Chain:      perfmodel.StandardChain(),
+			Bounds:     perfmodel.DefaultBounds(),
+			SLA:        sla.NewEnergyEfficiency(),
+			Flows:      env.StandardWorkload(),
+			LoadJitter: 0.03,
+			Options:    opts,
+			Seed:       seed,
+		})
+	}
+}
+
+func TestBaselineStatic(t *testing.T) {
+	c := NewBaseline()
+	if err := c.Prepare(nil); err != nil {
+		t.Fatal(err)
+	}
+	tput, energy, last, err := Run(c, factory(t), 1, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tput < 1.2 || tput > 3.2 {
+		t.Errorf("baseline throughput = %v, want ~2", tput)
+	}
+	if energy < 2200 || energy > 3400 {
+		t.Errorf("baseline energy = %v, want ~2700", energy)
+	}
+	if last.ThroughputGbps <= 0 {
+		t.Error("no final measurement")
+	}
+	if !c.Options().BusyPoll || !c.Options().NoSleep {
+		t.Error("baseline must busy-poll without sleeping")
+	}
+}
+
+func TestHeuristicImprovesOverBaseline(t *testing.T) {
+	b := NewBaseline()
+	bt, be, _, err := Run(b, factory(t), 1, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := NewHeuristic()
+	// The heuristic converges slowly (unit batch steps): give it the
+	// paper's long horizon.
+	ht, he, _, err := Run(h, factory(t), 1, 400, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ht < 1.5*bt {
+		t.Errorf("heuristic %.2f Gbps not ~2x baseline %.2f", ht, bt)
+	}
+	if ht > 3.5*bt {
+		t.Errorf("heuristic %.2f Gbps too strong vs baseline %.2f", ht, bt)
+	}
+	_ = he
+	_ = be
+}
+
+func TestEEPstateTracksLoad(t *testing.T) {
+	p := NewEEPstate()
+	if err := p.Prepare(nil); err != nil {
+		t.Fatal(err)
+	}
+	tput, energy, _, err := Run(p, factory(t), 2, 50, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tput <= 0 || energy <= 0 {
+		t.Fatalf("EE-Pstate result %v Gbps %v J", tput, energy)
+	}
+	// C-state management must beat the baseline's energy at the same
+	// or better throughput.
+	b := NewBaseline()
+	bt, be, _, err := Run(b, factory(t), 2, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if energy >= be {
+		t.Errorf("EE-Pstate energy %v not below baseline %v", energy, be)
+	}
+	if tput < bt {
+		t.Errorf("EE-Pstate throughput %v below baseline %v", tput, bt)
+	}
+}
+
+func TestQLearningPreparesAndControls(t *testing.T) {
+	q := NewQLearning(sla.NewEnergyEfficiency(), 3000)
+	if _, err := q.Step(nil); err == nil {
+		t.Error("unprepared step accepted")
+	}
+	if err := q.Prepare(factory(t)); err != nil {
+		t.Fatal(err)
+	}
+	tput, _, _, err := Run(q, factory(t), 3, 20, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBaseline()
+	bt, _, _, err := Run(b, factory(t), 3, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tput < bt {
+		t.Errorf("Q-learning %.2f below baseline %.2f", tput, bt)
+	}
+}
+
+func TestGreenNFVPreparesAndControls(t *testing.T) {
+	g := NewGreenNFV(sla.NewEnergyEfficiency(), 600, 2, 11)
+	if _, err := g.Step(nil); err == nil {
+		t.Error("unprepared step accepted")
+	}
+	if err := g.Prepare(factory(t)); err != nil {
+		t.Fatal(err)
+	}
+	if g.Trainer() == nil || len(g.Trainer().Snapshots) == 0 {
+		t.Error("training left no snapshots")
+	}
+	tput, energy, _, err := Run(g, factory(t), 4, 20, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tput <= 0 || energy <= 0 {
+		t.Fatalf("GreenNFV result %v/%v", tput, energy)
+	}
+	if g.Options().BusyPoll || g.Options().NoSleep {
+		t.Error("GreenNFV must run the poll/callback + sleep platform")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, _, _, err := Run(NewBaseline(), factory(t), 1, 0, 0); err == nil {
+		t.Error("zero steps accepted")
+	}
+}
+
+func TestControllerNames(t *testing.T) {
+	mt, _ := sla.NewMaxThroughput(2000)
+	me, _ := sla.NewMinEnergy(7.5)
+	names := map[Controller]string{
+		NewBaseline():            "Baseline",
+		NewHeuristic():           "Heuristics",
+		NewEEPstate():            "EE-Pstate",
+		NewQLearning(me, 1):      "Q-Learning",
+		NewGreenNFV(mt, 1, 1, 1): "GreenNFV(MaxT)",
+		NewGreenNFV(me, 1, 1, 1): "GreenNFV(MinE)",
+		NewGreenNFV(sla.NewEnergyEfficiency(), 1, 1, 1): "GreenNFV(EE)",
+	}
+	for c, want := range names {
+		if c.Name() != want {
+			t.Errorf("name = %q, want %q", c.Name(), want)
+		}
+	}
+}

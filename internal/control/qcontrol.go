@@ -1,0 +1,98 @@
+package control
+
+import (
+	"errors"
+
+	"greennfv/internal/env"
+	"greennfv/internal/perfmodel"
+	"greennfv/internal/rl/qlearn"
+	"greennfv/internal/sla"
+)
+
+// QLearning is the paper's tabular Q-learning baseline: knobs are
+// discretized to a coarse grid (k levels over 5 knobs), states to
+// (throughput, energy) bins, and a Q-table is trained online. The
+// paper's §5.1 observation — "fine-tuning the parameters is difficult
+// in real-time" with discrete levels — emerges naturally from the
+// grid resolution.
+type QLearning struct {
+	cfg        qlearn.Config
+	trainSteps int
+	slaSpec    sla.SLA
+	agent      *qlearn.Agent
+}
+
+// NewQLearning builds the baseline with the given SLA reward and
+// training budget.
+func NewQLearning(s sla.SLA, trainSteps int) *QLearning {
+	return &QLearning{cfg: qlearn.DefaultConfig(), trainSteps: trainSteps, slaSpec: s}
+}
+
+// Name implements Controller.
+func (q *QLearning) Name() string { return "Q-Learning" }
+
+// Options implements Controller: like the heuristic it manages knobs
+// on the stock busy-poll platform.
+func (q *QLearning) Options() perfmodel.EvalOptions {
+	return perfmodel.EvalOptions{BusyPoll: true, NoSleep: true}
+}
+
+// Prepare implements Controller: train the Q-table against a private
+// environment.
+func (q *QLearning) Prepare(factory EnvFactory) error {
+	if factory == nil {
+		return errors.New("control: q-learning needs an environment factory")
+	}
+	agent, err := qlearn.New(q.cfg)
+	if err != nil {
+		return err
+	}
+	e, err := factory(q.cfg.Seed, q.Options())
+	if err != nil {
+		return err
+	}
+	last := e.Last()
+	state := agent.StateIndex(last.ThroughputGbps, last.EnergyJoules)
+	for i := 0; i < q.trainSteps; i++ {
+		action := agent.Act(state)
+		k, err := agent.Knobs(action)
+		if err != nil {
+			return err
+		}
+		ks := make([]perfmodel.NFKnobs, e.NumNFs())
+		for j := range ks {
+			ks[j] = k
+		}
+		res, err := e.SetKnobs(ks)
+		if err != nil {
+			return err
+		}
+		reward := q.slaSpec.Reward(res.ThroughputGbps, res.EnergyJoules)
+		next := agent.StateIndex(res.ThroughputGbps, res.EnergyJoules)
+		if err := agent.Update(state, action, reward, next); err != nil {
+			return err
+		}
+		state = next
+	}
+	q.agent = agent
+	return nil
+}
+
+// Step implements Controller: greedy action from the trained table.
+func (q *QLearning) Step(e *env.Env) (perfmodel.Result, error) {
+	if q.agent == nil {
+		return perfmodel.Result{}, errors.New("control: q-learning not prepared")
+	}
+	last := e.Last()
+	state := q.agent.StateIndex(last.ThroughputGbps, last.EnergyJoules)
+	action := q.agent.Greedy(state)
+	k, err := q.agent.Knobs(action)
+	if err != nil {
+		return perfmodel.Result{}, err
+	}
+	ks := make([]perfmodel.NFKnobs, e.NumNFs())
+	for j := range ks {
+		ks[j] = k
+	}
+	return e.SetKnobs(ks)
+}

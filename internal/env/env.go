@@ -1,0 +1,312 @@
+// Package env is the reinforcement-learning environment GreenNFV
+// trains in: it wraps the performance model (the simulated testbed)
+// behind the paper's state space (equation 8: per-NF throughput,
+// energy, CPU utilization, packet arrival rate) and action space
+// (equation 7: per-NF CPU share, frequency, LLC allocation, DMA
+// buffer size, batch size), and pays rewards through the configured
+// SLA.
+package env
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"greennfv/internal/perfmodel"
+	"greennfv/internal/sla"
+)
+
+// KnobsPerNF is the action dimensionality per network function
+// (equation 7 of the paper).
+const KnobsPerNF = 5
+
+// StatePerNF is the observation dimensionality per network function
+// (equation 8 of the paper).
+const StatePerNF = 4
+
+// FlowLoad is one offered flow.
+type FlowLoad struct {
+	PPS        float64
+	FrameBytes int
+	Burstiness float64
+}
+
+// StandardWorkload returns the paper's evaluation load: five flows of
+// mixed frame sizes, slightly oversubscribing the 10 GbE link.
+func StandardWorkload() []FlowLoad {
+	return []FlowLoad{
+		{PPS: 300e3, FrameBytes: 1518, Burstiness: 1},
+		{PPS: 400e3, FrameBytes: 1024, Burstiness: 1},
+		{PPS: 800e3, FrameBytes: 512, Burstiness: 2},
+		{PPS: 400e3, FrameBytes: 256, Burstiness: 2},
+		{PPS: 300e3, FrameBytes: 64, Burstiness: 4},
+	}
+}
+
+// Aggregate folds a flow set into the model's traffic descriptor:
+// total packet rate, packet-weighted mean frame size, and weighted
+// burstiness.
+func Aggregate(flows []FlowLoad) (perfmodel.Traffic, error) {
+	if len(flows) == 0 {
+		return perfmodel.Traffic{}, errors.New("env: need at least one flow")
+	}
+	var pps, fsum, bsum float64
+	for i, f := range flows {
+		if f.PPS <= 0 || f.FrameBytes <= 0 {
+			return perfmodel.Traffic{}, fmt.Errorf("env: flow %d invalid (%+v)", i, f)
+		}
+		pps += f.PPS
+		fsum += f.PPS * float64(f.FrameBytes)
+		b := f.Burstiness
+		if b <= 0 {
+			b = 1
+		}
+		bsum += f.PPS * b
+	}
+	return perfmodel.Traffic{
+		OfferedPPS: pps,
+		FrameBytes: int(fsum / pps),
+		Burstiness: bsum / pps,
+	}, nil
+}
+
+// Config assembles an environment.
+type Config struct {
+	Model  perfmodel.Config
+	Chain  perfmodel.ChainSpec
+	Bounds perfmodel.KnobBounds
+	SLA    sla.SLA
+	Flows  []FlowLoad
+	// LoadJitter is the per-step relative noise on offered load
+	// (traffic is never perfectly stationary; this is what defeats
+	// static heuristics).
+	LoadJitter float64
+	// FrozenKnobs pins individual knobs at their platform defaults
+	// regardless of actions, in the per-NF order {CPUShare, FreqGHz,
+	// LLCFraction, DMABytes, Batch}. Used by the knob-contribution
+	// ablation.
+	FrozenKnobs [KnobsPerNF]bool
+	// Options selects the platform variant (poll mode, C-state
+	// policy, LLC contention). The zero value is the GreenNFV
+	// platform.
+	Options perfmodel.EvalOptions
+	// Seed makes the load process deterministic.
+	Seed int64
+}
+
+// Env is a single-node, single-chain environment instance. It is not
+// goroutine-safe; Ape-X actors each own one instance.
+type Env struct {
+	cfg     Config
+	base    perfmodel.Traffic
+	rng     *rand.Rand
+	knobs   []perfmodel.NFKnobs
+	last    perfmodel.Result
+	lastTr  perfmodel.Traffic
+	stepNum int
+}
+
+// New validates the configuration and builds an environment.
+func New(cfg Config) (*Env, error) {
+	if err := cfg.Model.Validate(); err != nil {
+		return nil, err
+	}
+	if len(cfg.Chain.NFs) == 0 {
+		return nil, errors.New("env: empty chain")
+	}
+	base, err := Aggregate(cfg.Flows)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.LoadJitter < 0 || cfg.LoadJitter >= 1 {
+		return nil, errors.New("env: LoadJitter must be in [0,1)")
+	}
+	e := &Env{cfg: cfg, base: base}
+	e.Reset(cfg.Seed)
+	return e, nil
+}
+
+// NumNFs reports the chain length.
+func (e *Env) NumNFs() int { return len(e.cfg.Chain.NFs) }
+
+// StateDim reports the observation vector length (4 per NF).
+func (e *Env) StateDim() int { return StatePerNF * e.NumNFs() }
+
+// ActionDim reports the action vector length (5 per NF).
+func (e *Env) ActionDim() int { return KnobsPerNF * e.NumNFs() }
+
+// SLA returns the environment's agreement.
+func (e *Env) SLA() sla.SLA { return e.cfg.SLA }
+
+// Bounds returns the knob bounds.
+func (e *Env) Bounds() perfmodel.KnobBounds { return e.cfg.Bounds }
+
+// Chain returns the chain spec.
+func (e *Env) Chain() perfmodel.ChainSpec { return e.cfg.Chain }
+
+// Reset reseeds the load process, restores default knobs, evaluates
+// once and returns the initial observation.
+func (e *Env) Reset(seed int64) []float64 {
+	e.rng = rand.New(rand.NewSource(seed))
+	e.knobs = perfmodel.DefaultKnobs(e.NumNFs())
+	for i := range e.knobs {
+		e.knobs[i] = e.cfg.Bounds.Clamp(e.knobs[i])
+	}
+	e.stepNum = 0
+	e.lastTr = e.base
+	e.evaluate()
+	return e.observe()
+}
+
+// Knobs returns a copy of the current knob settings.
+func (e *Env) Knobs() []perfmodel.NFKnobs {
+	out := make([]perfmodel.NFKnobs, len(e.knobs))
+	copy(out, e.knobs)
+	return out
+}
+
+// SetKnobs installs explicit knob settings (clamped to bounds) and
+// re-evaluates, returning the measurement. Controllers that bypass
+// the action encoding (heuristics, EE-Pstate) drive the environment
+// through this.
+func (e *Env) SetKnobs(ks []perfmodel.NFKnobs) (perfmodel.Result, error) {
+	if len(ks) != e.NumNFs() {
+		return perfmodel.Result{}, fmt.Errorf("env: %d knob sets for %d NFs", len(ks), e.NumNFs())
+	}
+	for i := range ks {
+		e.knobs[i] = e.cfg.Bounds.Clamp(ks[i])
+	}
+	e.advanceLoad()
+	e.evaluate()
+	return e.last, nil
+}
+
+// Step applies an action vector in [-1,1]^ActionDim, advances the
+// load process, evaluates, and returns (observation, reward, info).
+func (e *Env) Step(action []float64) ([]float64, float64, perfmodel.Result, error) {
+	if len(action) != e.ActionDim() {
+		return nil, 0, perfmodel.Result{}, fmt.Errorf("env: action dim %d, want %d", len(action), e.ActionDim())
+	}
+	for i := 0; i < e.NumNFs(); i++ {
+		e.knobs[i] = e.DecodeAction(action[i*KnobsPerNF : (i+1)*KnobsPerNF])
+	}
+	e.advanceLoad()
+	e.evaluate()
+	e.stepNum++
+	r := e.cfg.SLA.Reward(e.last.ThroughputGbps, e.last.EnergyJoules)
+	return e.observe(), r, e.last, nil
+}
+
+// Last returns the most recent measurement.
+func (e *Env) Last() perfmodel.Result { return e.last }
+
+// LastTraffic returns the most recent offered traffic.
+func (e *Env) LastTraffic() perfmodel.Traffic { return e.lastTr }
+
+// DecodeAction maps one NF's action slice ([-1,1]^5) onto knobs.
+// Share and frequency scale linearly; DMA and batch scale
+// logarithmically (their useful ranges span orders of magnitude).
+func (e *Env) DecodeAction(a []float64) perfmodel.NFKnobs {
+	b := e.cfg.Bounds
+	u := func(x float64) float64 { // [-1,1] -> [0,1]
+		if math.IsNaN(x) {
+			x = 0
+		}
+		x = (x + 1) / 2
+		if x < 0 {
+			x = 0
+		}
+		if x > 1 {
+			x = 1
+		}
+		return x
+	}
+	logScale := func(x, lo, hi float64) float64 {
+		return math.Exp(math.Log(lo) + x*(math.Log(hi)-math.Log(lo)))
+	}
+	k := perfmodel.NFKnobs{
+		CPUShare:    b.ShareMin + u(a[0])*(b.ShareMax-b.ShareMin),
+		FreqGHz:     b.FreqMin + u(a[1])*(b.FreqMax-b.FreqMin),
+		LLCFraction: b.LLCMin + u(a[2])*(b.LLCMax-b.LLCMin),
+		DMABytes:    int64(logScale(u(a[3]), float64(b.DMAMin), float64(b.DMAMax))),
+		Batch:       int(math.Round(logScale(u(a[4]), float64(b.BatchMin), float64(b.BatchMax)))),
+	}
+	def := perfmodel.DefaultKnobs(1)[0]
+	if e.cfg.FrozenKnobs[0] {
+		k.CPUShare = def.CPUShare
+	}
+	if e.cfg.FrozenKnobs[1] {
+		k.FreqGHz = def.FreqGHz
+	}
+	if e.cfg.FrozenKnobs[2] {
+		k.LLCFraction = 1 / float64(e.NumNFs())
+	}
+	if e.cfg.FrozenKnobs[3] {
+		k.DMABytes = def.DMABytes
+	}
+	if e.cfg.FrozenKnobs[4] {
+		k.Batch = def.Batch
+	}
+	return e.cfg.Bounds.Clamp(k)
+}
+
+// EncodeKnobs inverts DecodeAction for warm-starting policies.
+func (e *Env) EncodeKnobs(k perfmodel.NFKnobs) []float64 {
+	b := e.cfg.Bounds
+	k = b.Clamp(k)
+	lin := func(v, lo, hi float64) float64 { return 2*(v-lo)/(hi-lo) - 1 }
+	logv := func(v, lo, hi float64) float64 {
+		return 2*(math.Log(v)-math.Log(lo))/(math.Log(hi)-math.Log(lo)) - 1
+	}
+	return []float64{
+		lin(k.CPUShare, b.ShareMin, b.ShareMax),
+		lin(k.FreqGHz, b.FreqMin, b.FreqMax),
+		lin(k.LLCFraction, b.LLCMin, b.LLCMax),
+		logv(float64(k.DMABytes), float64(b.DMAMin), float64(b.DMAMax)),
+		logv(float64(k.Batch), float64(b.BatchMin), float64(b.BatchMax)),
+	}
+}
+
+// advanceLoad jitters the offered traffic around the configured base.
+func (e *Env) advanceLoad() {
+	e.lastTr = e.base
+	if e.cfg.LoadJitter > 0 {
+		f := 1 + e.cfg.LoadJitter*(2*e.rng.Float64()-1)
+		e.lastTr.OfferedPPS *= f
+	}
+}
+
+// evaluate runs the model at the current knobs and load.
+func (e *Env) evaluate() {
+	if e.lastTr.OfferedPPS == 0 {
+		e.lastTr = e.base
+	}
+	res, err := e.cfg.Model.Evaluate(e.cfg.Chain, e.knobs, e.lastTr, e.cfg.Options)
+	if err != nil {
+		// Inputs are clamped and validated at construction; a model
+		// error here is a programming bug.
+		panic(fmt.Sprintf("env: evaluate: %v", err))
+	}
+	e.last = res
+}
+
+// observe builds the paper's state vector: per NF, normalized
+// {throughput, energy, CPU utilization, arrival rate}.
+func (e *Env) observe() []float64 {
+	out := make([]float64, 0, e.StateDim())
+	n := float64(e.NumNFs())
+	for i := 0; i < e.NumNFs(); i++ {
+		busy := 0.0
+		if i < len(e.last.PerNF) {
+			busy = e.last.PerNF[i].BusyCores
+		}
+		out = append(out,
+			e.last.ThroughputGbps/10,
+			e.last.EnergyJoules/(3300*n), // per-NF energy share
+			busy/4,
+			e.lastTr.OfferedPPS/15e6,
+		)
+	}
+	return out
+}

@@ -1,0 +1,272 @@
+package env
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"greennfv/internal/perfmodel"
+	"greennfv/internal/sla"
+)
+
+func testEnv(t *testing.T, s sla.SLA, busyPoll bool) *Env {
+	t.Helper()
+	e, err := New(Config{
+		Model:      perfmodel.Default(),
+		Chain:      perfmodel.StandardChain(),
+		Bounds:     perfmodel.DefaultBounds(),
+		SLA:        s,
+		Flows:      StandardWorkload(),
+		LoadJitter: 0.05,
+		Options:    perfmodel.EvalOptions{BusyPoll: busyPoll, NoSleep: busyPoll},
+		Seed:       42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestAggregate(t *testing.T) {
+	tr, err := Aggregate(StandardWorkload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.OfferedPPS != 2.2e6 {
+		t.Errorf("offered = %v, want 2.2M", tr.OfferedPPS)
+	}
+	if tr.FrameBytes < 500 || tr.FrameBytes > 800 {
+		t.Errorf("mean frame = %d, want ~630", tr.FrameBytes)
+	}
+	if tr.Burstiness <= 1 {
+		t.Errorf("burstiness = %v, want > 1 (mixed loads)", tr.Burstiness)
+	}
+	if _, err := Aggregate(nil); err == nil {
+		t.Error("empty flows accepted")
+	}
+	if _, err := Aggregate([]FlowLoad{{PPS: -1, FrameBytes: 64}}); err == nil {
+		t.Error("negative flow accepted")
+	}
+}
+
+func TestEnvDimensions(t *testing.T) {
+	e := testEnv(t, sla.NewEnergyEfficiency(), false)
+	if e.NumNFs() != 3 || e.StateDim() != 12 || e.ActionDim() != 15 {
+		t.Errorf("dims = %d NFs, %d state, %d action", e.NumNFs(), e.StateDim(), e.ActionDim())
+	}
+}
+
+func TestEnvValidation(t *testing.T) {
+	base := Config{
+		Model:  perfmodel.Default(),
+		Chain:  perfmodel.StandardChain(),
+		Bounds: perfmodel.DefaultBounds(),
+		SLA:    sla.NewEnergyEfficiency(),
+		Flows:  StandardWorkload(),
+	}
+	bad := base
+	bad.Chain = perfmodel.ChainSpec{}
+	if _, err := New(bad); err == nil {
+		t.Error("empty chain accepted")
+	}
+	bad = base
+	bad.Flows = nil
+	if _, err := New(bad); err == nil {
+		t.Error("no flows accepted")
+	}
+	bad = base
+	bad.LoadJitter = 1.5
+	if _, err := New(bad); err == nil {
+		t.Error("jitter >= 1 accepted")
+	}
+	bad = base
+	bad.Model.NumCores = 0
+	if _, err := New(bad); err == nil {
+		t.Error("bad model accepted")
+	}
+}
+
+func TestResetDeterminism(t *testing.T) {
+	e := testEnv(t, sla.NewEnergyEfficiency(), false)
+	s1 := e.Reset(7)
+	a := make([]float64, e.ActionDim()) // midpoint action
+	n1, r1, _, err := e.Step(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := e.Reset(7)
+	n2, r2, _, err := e.Step(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Fatalf("reset state differs at %d", i)
+		}
+	}
+	for i := range n1 {
+		if n1[i] != n2[i] {
+			t.Fatalf("step state differs at %d", i)
+		}
+	}
+	if r1 != r2 {
+		t.Fatalf("rewards differ: %v vs %v", r1, r2)
+	}
+}
+
+func TestStepValidatesActionDim(t *testing.T) {
+	e := testEnv(t, sla.NewEnergyEfficiency(), false)
+	if _, _, _, err := e.Step(make([]float64, 3)); err == nil {
+		t.Error("wrong action dim accepted")
+	}
+}
+
+func TestActionEncodeDecodeRoundTrip(t *testing.T) {
+	e := testEnv(t, sla.NewEnergyEfficiency(), false)
+	f := func(raw [5]float64) bool {
+		a := make([]float64, 5)
+		for i, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				x = 0
+			}
+			a[i] = math.Mod(x, 1)
+		}
+		k := e.DecodeAction(a)
+		b := e.Bounds()
+		if k.CPUShare < b.ShareMin-1e-9 || k.CPUShare > b.ShareMax+1e-9 {
+			return false
+		}
+		if k.FreqGHz < b.FreqMin-1e-9 || k.FreqGHz > b.FreqMax+1e-9 {
+			return false
+		}
+		if k.LLCFraction < b.LLCMin-1e-9 || k.LLCFraction > b.LLCMax+1e-9 {
+			return false
+		}
+		if k.DMABytes < b.DMAMin || k.DMABytes > b.DMAMax {
+			return false
+		}
+		if k.Batch < b.BatchMin || k.Batch > b.BatchMax {
+			return false
+		}
+		// Re-encode then decode reproduces the same knobs (within
+		// rounding of the integer knobs).
+		enc := e.EncodeKnobs(k)
+		k2 := e.DecodeAction(enc)
+		return math.Abs(k2.CPUShare-k.CPUShare) < 1e-6 &&
+			math.Abs(k2.FreqGHz-k.FreqGHz) < 1e-6 &&
+			math.Abs(k2.LLCFraction-k.LLCFraction) < 1e-6 &&
+			math.Abs(float64(k2.Batch-k.Batch)) <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExtremeActionsMapToBounds(t *testing.T) {
+	e := testEnv(t, sla.NewEnergyEfficiency(), false)
+	b := e.Bounds()
+	lo := e.DecodeAction([]float64{-1, -1, -1, -1, -1})
+	hi := e.DecodeAction([]float64{1, 1, 1, 1, 1})
+	if lo.CPUShare != b.ShareMin || lo.Batch != b.BatchMin || lo.DMABytes != b.DMAMin {
+		t.Errorf("lo = %+v", lo)
+	}
+	if hi.CPUShare != b.ShareMax || hi.Batch != b.BatchMax || math.Abs(float64(hi.DMABytes-b.DMAMax)) > 1024 {
+		t.Errorf("hi = %+v", hi)
+	}
+}
+
+func TestRewardMatchesSLA(t *testing.T) {
+	s, _ := sla.NewMaxThroughput(2000)
+	e := testEnv(t, s, false)
+	a := make([]float64, e.ActionDim())
+	_, r, info, err := e.Step(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := s.Reward(info.ThroughputGbps, info.EnergyJoules)
+	if r != want {
+		t.Errorf("reward = %v, want %v", r, want)
+	}
+}
+
+func TestObservationNormalized(t *testing.T) {
+	e := testEnv(t, sla.NewEnergyEfficiency(), false)
+	obs := e.Reset(3)
+	if len(obs) != e.StateDim() {
+		t.Fatalf("obs len = %d", len(obs))
+	}
+	for i, v := range obs {
+		if math.IsNaN(v) || v < 0 || v > 3 {
+			t.Errorf("obs[%d] = %v outside sane range", i, v)
+		}
+	}
+}
+
+func TestSetKnobsDrivesEnvironment(t *testing.T) {
+	e := testEnv(t, sla.NewEnergyEfficiency(), false)
+	ks := perfmodel.DefaultKnobs(3)
+	for i := range ks {
+		ks[i].Batch = 128
+		ks[i].DMABytes = 2 << 20
+		ks[i].CPUShare = 2
+	}
+	res, err := e.SetKnobs(ks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ThroughputGbps <= 0 {
+		t.Error("zero throughput from tuned knobs")
+	}
+	if len(e.Knobs()) != 3 || e.Knobs()[0].Batch != 128 {
+		t.Error("knobs not installed")
+	}
+	if _, err := e.SetKnobs(ks[:1]); err == nil {
+		t.Error("knob count mismatch accepted")
+	}
+}
+
+// The environment's default (baseline knobs, busy-poll) must sit in
+// the paper's baseline operating region, and a tuned configuration
+// must clear 4x its throughput — this is the precondition for every
+// training figure.
+func TestEnvHeadroomMatchesPaper(t *testing.T) {
+	e := testEnv(t, sla.NewEnergyEfficiency(), true)
+	base := e.Last()
+	if base.ThroughputGbps < 1.2 || base.ThroughputGbps > 3.2 {
+		t.Errorf("baseline throughput = %v, want ~2", base.ThroughputGbps)
+	}
+	tuned := testEnv(t, sla.NewEnergyEfficiency(), false)
+	ks := perfmodel.DefaultKnobs(3)
+	for i := range ks {
+		ks[i].CPUShare = 2
+		ks[i].Batch = 128
+		ks[i].DMABytes = 2 << 20
+	}
+	res, err := tuned.SetKnobs(ks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := res.ThroughputGbps / base.ThroughputGbps
+	if ratio < 3.5 || ratio > 6.5 {
+		t.Errorf("tuned/baseline = %.2f, want ~4.4", ratio)
+	}
+	if res.EnergyJoules >= base.EnergyJoules {
+		t.Error("tuned config not saving energy")
+	}
+}
+
+func TestLoadJitterVariesTraffic(t *testing.T) {
+	e := testEnv(t, sla.NewEnergyEfficiency(), false)
+	a := make([]float64, e.ActionDim())
+	seen := map[float64]bool{}
+	for i := 0; i < 10; i++ {
+		_, _, _, err := e.Step(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[e.LastTraffic().OfferedPPS] = true
+	}
+	if len(seen) < 5 {
+		t.Errorf("load jitter produced only %d distinct loads", len(seen))
+	}
+}

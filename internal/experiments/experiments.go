@@ -1,0 +1,162 @@
+// Package experiments reproduces every figure of the paper's
+// evaluation (there are no numbered tables): the §3 micro-benchmarks
+// (Figures 1–4), the SLA training curves (Figures 6–8), the
+// controller comparison (Figure 9), the fixed-SLA time series
+// (Figure 10) and the amortized energy-saving curve (Figure 11),
+// plus ablation studies beyond the paper. Each driver returns the
+// rows/series the paper plots; renderers emit aligned ASCII tables
+// and CSV.
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+
+	"greennfv/internal/control"
+	"greennfv/internal/env"
+	"greennfv/internal/perfmodel"
+	"greennfv/internal/sla"
+)
+
+// Table is one experiment's tabular output.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Render writes an aligned ASCII table.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s — %s\n", t.ID, t.Title); err != nil {
+		return err
+	}
+	line := func(cells []string) string {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+			} else {
+				parts[i] = c
+			}
+		}
+		return strings.Join(parts, "  ")
+	}
+	if _, err := fmt.Fprintln(w, line(t.Columns)); err != nil {
+		return err
+	}
+	total := len(widths) - 1
+	for _, wd := range widths {
+		total += wd + 1
+	}
+	if _, err := fmt.Fprintln(w, strings.Repeat("-", total)); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// WriteCSV emits the table as CSV.
+func (t *Table) WriteCSV(w io.Writer) error {
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	cols := make([]string, len(t.Columns))
+	for i, c := range t.Columns {
+		cols[i] = esc(c)
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(cols, ",")); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		cells := make([]string, len(row))
+		for i, c := range row {
+			cells[i] = esc(c)
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(cells, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Options scales the experiment suite: Quick shrinks the RL training
+// budgets so the full suite runs in seconds (unit tests, smoke runs);
+// Full uses the bench-scale budgets.
+type Options struct {
+	// TrainSteps is the RL training budget per SLA model.
+	TrainSteps int
+	// QTrainSteps is the tabular Q-learning budget.
+	QTrainSteps int
+	// Actors is the Ape-X worker count.
+	Actors int
+	// ControlSteps is the measurement horizon for trained policies.
+	ControlSteps int
+	// Seed fixes all randomness.
+	Seed int64
+}
+
+// Quick returns budgets for fast smoke runs.
+func Quick() Options {
+	return Options{TrainSteps: 400, QTrainSteps: 1500, Actors: 2, ControlSteps: 12, Seed: 17}
+}
+
+// Full returns the budgets used for the recorded results in
+// EXPERIMENTS.md.
+func Full() Options {
+	return Options{TrainSteps: 4000, QTrainSteps: 12000, Actors: 4, ControlSteps: 40, Seed: 17}
+}
+
+// Validate reports whether the options are usable.
+func (o Options) Validate() error {
+	if o.TrainSteps <= 0 || o.QTrainSteps <= 0 || o.Actors <= 0 || o.ControlSteps <= 0 {
+		return errors.New("experiments: all budgets must be positive")
+	}
+	return nil
+}
+
+// Factory returns the standard single-node environment factory used
+// by the SLA experiments: standard chain, five-flow workload, mild
+// load jitter.
+func Factory(s sla.SLA) control.EnvFactory {
+	return func(seed int64, opts perfmodel.EvalOptions) (*env.Env, error) {
+		return env.New(env.Config{
+			Model:      perfmodel.Default(),
+			Chain:      perfmodel.StandardChain(),
+			Bounds:     perfmodel.DefaultBounds(),
+			SLA:        s,
+			Flows:      env.StandardWorkload(),
+			LoadJitter: 0.03,
+			Options:    opts,
+			Seed:       seed,
+		})
+	}
+}
+
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f0(v float64) string { return fmt.Sprintf("%.0f", v) }

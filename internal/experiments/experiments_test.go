@@ -1,0 +1,368 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func cellFloat(t *testing.T, tab *Table, row, col int) float64 {
+	t.Helper()
+	s := strings.TrimSuffix(strings.TrimSuffix(tab.Rows[row][col], "%"), "x")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("cell (%d,%d) = %q: %v", row, col, tab.Rows[row][col], err)
+	}
+	return v
+}
+
+func TestTableRenderAndCSV(t *testing.T) {
+	tab := &Table{ID: "x", Title: "demo", Columns: []string{"a", "b"}}
+	tab.AddRow("1", "hello, world")
+	var buf bytes.Buffer
+	if err := tab.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "demo") || !strings.Contains(buf.String(), "hello") {
+		t.Errorf("render output: %q", buf.String())
+	}
+	buf.Reset()
+	if err := tab.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"hello, world"`) {
+		t.Errorf("csv escaping: %q", buf.String())
+	}
+}
+
+func TestOptionsValidate(t *testing.T) {
+	if err := (Options{}).Validate(); err == nil {
+		t.Error("zero options accepted")
+	}
+	if err := Quick().Validate(); err != nil {
+		t.Errorf("quick options invalid: %v", err)
+	}
+	if err := Full().Validate(); err != nil {
+		t.Errorf("full options invalid: %v", err)
+	}
+}
+
+func TestFig1Shape(t *testing.T) {
+	tab, err := Fig1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// C1 throughput (col 3) degrades monotonically; C1 energy/MP
+	// (col 5) rises; C2 throughput (col 4) holds.
+	for i := 1; i < 4; i++ {
+		if cellFloat(t, tab, i, 3) >= cellFloat(t, tab, i-1, 3) {
+			t.Errorf("C1 throughput not degrading at row %d", i)
+		}
+	}
+	if cellFloat(t, tab, 3, 5) <= cellFloat(t, tab, 0, 5) {
+		t.Error("C1 energy/MP not rising")
+	}
+	if cellFloat(t, tab, 3, 4) < 0.9*cellFloat(t, tab, 0, 4) {
+		t.Error("C2 throughput collapsed")
+	}
+}
+
+func TestFig2Shape(t *testing.T) {
+	tab, err := Fig2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 10 {
+		t.Fatalf("rows = %d, want 10 ladder steps", len(tab.Rows))
+	}
+	last := len(tab.Rows) - 1
+	if cellFloat(t, tab, last, 1) <= cellFloat(t, tab, 0, 1) {
+		t.Error("throughput not rising with frequency")
+	}
+	if cellFloat(t, tab, last, 2) <= cellFloat(t, tab, 0, 2) {
+		t.Error("energy not rising with frequency")
+	}
+	// Sub-linear growth.
+	tputRatio := cellFloat(t, tab, last, 1) / cellFloat(t, tab, 0, 1)
+	if tputRatio >= 2.1/1.2 {
+		t.Errorf("throughput gain %.2f not sub-linear", tputRatio)
+	}
+}
+
+func TestFig3Shape(t *testing.T) {
+	tab, err := Fig3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	peak, peakV := 0, 0.0
+	for i := range tab.Rows {
+		if v := cellFloat(t, tab, i, 1); v > peakV {
+			peak, peakV = i, v
+		}
+	}
+	if peak == 0 || peak == len(tab.Rows)-1 {
+		t.Errorf("batch throughput peak at edge: row %d", peak)
+	}
+}
+
+func TestFig4Shape(t *testing.T) {
+	tab, err := Fig4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, col := range []int{1, 2} { // 64B and 1518B throughput
+		peak, peakV := 0, 0.0
+		for i := range tab.Rows {
+			if v := cellFloat(t, tab, i, col); v > peakV {
+				peak, peakV = i, v
+			}
+		}
+		if peak == 0 || peak == len(tab.Rows)-1 {
+			t.Errorf("col %d: DMA throughput peak at edge (row %d)", col, peak)
+		}
+	}
+	// 1518B always carries more Gbps than 64B at matched buffer.
+	mid := len(tab.Rows) / 2
+	if cellFloat(t, tab, mid, 2) <= cellFloat(t, tab, mid, 1) {
+		t.Error("1518B not above 64B")
+	}
+}
+
+func TestFig6TrainingRespectsEnergyBudget(t *testing.T) {
+	tab, g, err := Fig6(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) == 0 {
+		t.Fatal("no training rows")
+	}
+	// Late training should sit inside the 2 kJ budget most of the
+	// time (col 2 is kJ).
+	late := tab.Rows[len(tab.Rows)*3/4:]
+	inside := 0
+	for i := range late {
+		if cellFloat(t, tab, len(tab.Rows)*3/4+i, 2) <= 2.05 {
+			inside++
+		}
+	}
+	if inside*2 < len(late) {
+		t.Errorf("only %d/%d late snapshots inside the energy budget", inside, len(late))
+	}
+	if _, ok := FinalSnapshot(g); !ok {
+		t.Error("no final snapshot")
+	}
+}
+
+func TestFig7TrainingHoldsThroughputFloor(t *testing.T) {
+	tab, _, err := Fig7(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	late := tab.Rows[len(tab.Rows)*3/4:]
+	holding := 0
+	for i := range late {
+		if cellFloat(t, tab, len(tab.Rows)*3/4+i, 1) >= 7.0 {
+			holding++
+		}
+	}
+	if holding*2 < len(late) {
+		t.Errorf("only %d/%d late snapshots hold the 7.5Gbps floor", holding, len(late))
+	}
+}
+
+func TestFig8EfficiencyImproves(t *testing.T) {
+	tab, _, err := Fig8(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) < 4 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// Mean efficiency of the last quarter beats the first quarter.
+	quarter := len(tab.Rows) / 4
+	var early, lateSum float64
+	for i := 0; i < quarter; i++ {
+		early += cellFloat(t, tab, i, 3)
+	}
+	for i := len(tab.Rows) - quarter; i < len(tab.Rows); i++ {
+		lateSum += cellFloat(t, tab, i, 3)
+	}
+	if lateSum <= early {
+		t.Errorf("efficiency did not improve: early %.2f late %.2f", early, lateSum)
+	}
+}
+
+// The headline comparison: relative ordering of Figure 9 must hold.
+func TestFig9Ordering(t *testing.T) {
+	_, rows, err := Fig9(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]ComparisonRow{}
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	base := byName["Baseline"]
+	heur := byName["Heuristics"]
+	maxT := byName["GreenNFV(MaxT)"]
+	minE := byName["GreenNFV(MinE)"]
+	ee := byName["GreenNFV(EE)"]
+
+	if heur.ThroughputGbps < 1.4*base.ThroughputGbps {
+		t.Errorf("heuristics %.2f not well above baseline %.2f", heur.ThroughputGbps, base.ThroughputGbps)
+	}
+	if maxT.ThroughputGbps < 3.0*base.ThroughputGbps {
+		t.Errorf("MaxT %.2f not ~4x baseline %.2f", maxT.ThroughputGbps, base.ThroughputGbps)
+	}
+	if maxT.EnergyJ > 0.8*base.EnergyJ {
+		t.Errorf("MaxT energy %.0f not well below baseline %.0f", maxT.EnergyJ, base.EnergyJ)
+	}
+	if minE.ThroughputGbps < 2.0*base.ThroughputGbps {
+		t.Errorf("MinE %.2f not ~3x baseline %.2f", minE.ThroughputGbps, base.ThroughputGbps)
+	}
+	// The paper reports ~50%; the quick training budget lands close
+	// to that and the Full() budget (EXPERIMENTS.md) tightens it.
+	if minE.EnergyJ > 0.66*base.EnergyJ {
+		t.Errorf("MinE energy %.0f not well below baseline %.0f", minE.EnergyJ, base.EnergyJ)
+	}
+	if ee.Efficiency <= base.Efficiency {
+		t.Errorf("EE efficiency %.2f not above baseline %.2f", ee.Efficiency, base.Efficiency)
+	}
+}
+
+func TestFig10SettlesInsideConstraints(t *testing.T) {
+	tab, err := Fig10(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 12 {
+		t.Fatalf("rows = %d, want 12 intervals", len(tab.Rows))
+	}
+	// The last third must satisfy both SLAs.
+	for i := 8; i < 12; i++ {
+		if tab.Rows[i][3] != "yes" {
+			t.Errorf("MaxTh violating at t=%s", tab.Rows[i][0])
+		}
+		if tab.Rows[i][6] != "yes" {
+			t.Errorf("MinE violating at t=%s", tab.Rows[i][0])
+		}
+	}
+}
+
+func TestFig11SavingGrowsWithHours(t *testing.T) {
+	tab, err := Fig11(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 6 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	first := cellFloat(t, tab, 0, 3)
+	lastV := cellFloat(t, tab, 5, 3)
+	if lastV <= first {
+		t.Errorf("saving not growing: %v -> %v", first, lastV)
+	}
+	if lastV < 20 {
+		t.Errorf("6-hour saving %.1f%% too low", lastV)
+	}
+}
+
+func TestAblationPER(t *testing.T) {
+	o := Quick()
+	tab, err := AblationPER(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for i := range tab.Rows {
+		if cellFloat(t, tab, i, 1) <= 0 {
+			t.Errorf("row %d efficiency not positive", i)
+		}
+	}
+}
+
+func TestAblationKnobs(t *testing.T) {
+	o := Quick()
+	o.TrainSteps = 250
+	tab, err := AblationKnobs(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 6 { // none + 5 knobs
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+}
+
+func TestAblationReward(t *testing.T) {
+	o := Quick()
+	o.TrainSteps = 250
+	tab, err := AblationReward(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+}
+
+func TestAblationActors(t *testing.T) {
+	o := Quick()
+	o.TrainSteps = 200
+	tab, err := AblationActors(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+}
+
+func TestValidationDESAgreement(t *testing.T) {
+	tab, err := ValidationDES()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// Every load point agrees within 10%.
+	for i := range tab.Rows {
+		delta := cellFloat(t, tab, i, 3)
+		if delta > 10 || delta < -10 {
+			t.Errorf("row %d: DES vs analytic delta %.1f%%", i, delta)
+		}
+	}
+	// p99 latency is at least p50 (sanity of the histogram).
+	for i := range tab.Rows {
+		if cellFloat(t, tab, i, 5) < cellFloat(t, tab, i, 4) {
+			t.Errorf("row %d: p99 < p50", i)
+		}
+	}
+}
+
+func TestExpConsolidation(t *testing.T) {
+	tab, err := ExpConsolidation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) < 2 {
+		t.Fatal("missing rows")
+	}
+	naive := cellFloat(t, tab, 0, 1)
+	packed := cellFloat(t, tab, 1, 1)
+	if packed >= naive {
+		t.Errorf("consolidation did not reduce nodes: %v -> %v", naive, packed)
+	}
+	if cellFloat(t, tab, 1, 2) != 0 {
+		t.Errorf("affinity pairs split: cross pps %v", tab.Rows[1][2])
+	}
+	if cellFloat(t, tab, 1, 3) <= 0 {
+		t.Error("no idle power saved")
+	}
+}

@@ -1,0 +1,243 @@
+package cache
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestXeonE5v4Config(t *testing.T) {
+	cfg := XeonE5v4()
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("testbed config invalid: %v", err)
+	}
+	if cfg.TotalBytes() != 20<<20 {
+		t.Errorf("total = %d, want 20 MiB", cfg.TotalBytes())
+	}
+	if cfg.DDIOBytes() != 2<<20 {
+		t.Errorf("DDIO = %d, want 2 MiB (10%%)", cfg.DDIOBytes())
+	}
+	if cfg.SharedBytes() != 18<<20 {
+		t.Errorf("shared = %d, want 18 MiB", cfg.SharedBytes())
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Ways: 0, WayBytes: 1, DDIOWays: 0},
+		{Ways: 4, WayBytes: 0, DDIOWays: 0},
+		{Ways: 4, WayBytes: 1, DDIOWays: 4},
+		{Ways: 4, WayBytes: 1, DDIOWays: -1},
+		{Ways: 4, WayBytes: 1, DDIOWays: 0, ColdMissRate: 1},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestContiguityEnforced(t *testing.T) {
+	c := MustNewCAT(XeonE5v4())
+	if err := c.DefineCLOS(1, 0b1011); err != ErrNonContiguous {
+		t.Errorf("gap mask accepted: %v", err)
+	}
+	if err := c.DefineCLOS(1, 0); err != ErrEmptyMask {
+		t.Errorf("empty mask: %v", err)
+	}
+	if err := c.DefineCLOS(1, 0b1111); err != nil {
+		t.Errorf("valid mask rejected: %v", err)
+	}
+	// 18 non-DDIO ways: mask needing way 18 must fail.
+	if err := c.DefineCLOS(2, 1<<18); err == nil {
+		t.Error("mask beyond non-DDIO ways accepted")
+	}
+	// Mask of exactly 18 ways is the maximum.
+	if err := c.DefineCLOS(2, (1<<18)-1); err != nil {
+		t.Errorf("full-width mask rejected: %v", err)
+	}
+}
+
+func TestAssignAndCLOSOf(t *testing.T) {
+	c := MustNewCAT(XeonE5v4())
+	_ = c.DefineCLOS(3, 0b111)
+	if err := c.Assign("chain1", 3); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.CLOSOf("chain1"); got != 3 {
+		t.Errorf("CLOSOf = %d, want 3", got)
+	}
+	if got := c.CLOSOf("unknown"); got != 0 {
+		t.Errorf("unassigned group CLOS = %d, want 0", got)
+	}
+	if err := c.Assign("x", 99); err != ErrUnknownCLOS {
+		t.Errorf("assign to unknown CLOS: %v", err)
+	}
+}
+
+func TestRemoveCLOSFallsBack(t *testing.T) {
+	c := MustNewCAT(XeonE5v4())
+	_ = c.DefineCLOS(5, 0b11)
+	_ = c.Assign("nf", 5)
+	if err := c.RemoveCLOS(5); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.CLOSOf("nf"); got != 0 {
+		t.Errorf("group did not fall back to CLOS 0, got %d", got)
+	}
+	if err := c.RemoveCLOS(0); err == nil {
+		t.Error("CLOS 0 removal accepted")
+	}
+	if err := c.RemoveCLOS(42); err != ErrUnknownCLOS {
+		t.Errorf("removing unknown CLOS: %v", err)
+	}
+}
+
+func TestEffectiveBytesExclusive(t *testing.T) {
+	c := MustNewCAT(XeonE5v4())
+	wb := c.Config().WayBytes
+	_ = c.DefineCLOS(1, 0b1111)     // ways 0-3
+	_ = c.DefineCLOS(2, 0b11110000) // ways 4-7, disjoint
+	_ = c.Assign("a", 1)
+	_ = c.Assign("b", 2)
+	if got := c.EffectiveBytes("a"); got != 4*wb {
+		t.Errorf("exclusive a = %d, want %d", got, 4*wb)
+	}
+	if got := c.EffectiveBytes("b"); got != 4*wb {
+		t.Errorf("exclusive b = %d, want %d", got, 4*wb)
+	}
+}
+
+func TestEffectiveBytesSharedWaysSplit(t *testing.T) {
+	c := MustNewCAT(XeonE5v4())
+	wb := c.Config().WayBytes
+	_ = c.DefineCLOS(1, 0b0111) // ways 0-2
+	_ = c.DefineCLOS(2, 0b0110) // ways 1-2 shared with CLOS 1
+	_ = c.Assign("a", 1)
+	_ = c.Assign("b", 2)
+	// a: way0 exclusive + ways1,2 halved = 1 + 1 = 2 ways.
+	if got := c.EffectiveBytes("a"); got != 2*wb {
+		t.Errorf("shared a = %d, want %d", got, 2*wb)
+	}
+	// b: ways1,2 halved = 1 way.
+	if got := c.EffectiveBytes("b"); got != 1*wb {
+		t.Errorf("shared b = %d, want %d", got, 1*wb)
+	}
+}
+
+func TestEffectiveBytesUnknownGroupUsesCLOS0(t *testing.T) {
+	c := MustNewCAT(XeonE5v4())
+	// Unassigned group maps to CLOS 0 = all 18 non-DDIO ways.
+	want := c.Config().SharedBytes()
+	if got := c.EffectiveBytes("ghost"); got != want {
+		t.Errorf("CLOS-0 effective = %d, want %d", got, want)
+	}
+}
+
+func TestDefineCLOSFraction(t *testing.T) {
+	c := MustNewCAT(XeonE5v4())
+	wb := c.Config().WayBytes
+	got, err := c.DefineCLOSFraction(1, 0.5, 0) // 9 of 18 ways
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 9*wb {
+		t.Errorf("0.5 fraction = %d bytes, want %d", got, 9*wb)
+	}
+	// Tiny fraction still grants one way.
+	got, err = c.DefineCLOSFraction(2, 0.001, 0)
+	if err != nil || got != wb {
+		t.Errorf("min fraction = %d (%v), want one way", got, err)
+	}
+	// Fraction over 1 clamps to everything.
+	got, err = c.DefineCLOSFraction(3, 7, 0)
+	if err != nil || got != 18*wb {
+		t.Errorf("clamped fraction = %d (%v), want %d", got, err, 18*wb)
+	}
+	// Start way beyond range slides back.
+	got, err = c.DefineCLOSFraction(4, 0.5, 15)
+	if err != nil || got != 9*wb {
+		t.Errorf("sliding start = %d (%v), want %d", got, err, 9*wb)
+	}
+}
+
+func TestMissRateShape(t *testing.T) {
+	const meg = int64(1 << 20)
+	// Fits: only cold misses.
+	if m := MissRate(2*meg, 4*meg, 0.02); m != 0.02 {
+		t.Errorf("fitting working set miss = %v, want 0.02", m)
+	}
+	// Double the cache: half the data uncached.
+	m := MissRate(8*meg, 4*meg, 0.0)
+	if math.Abs(m-0.5) > 1e-9 {
+		t.Errorf("half-cached miss = %v, want 0.5", m)
+	}
+	// Zero allocation: everything misses beyond cold floor.
+	if m := MissRate(meg, 0, 0.02); math.Abs(m-1.0) > 1e-9 {
+		t.Errorf("no-cache miss = %v, want 1", m)
+	}
+	// Degenerate working set.
+	if m := MissRate(0, meg, 0.02); m != 0.02 {
+		t.Errorf("empty working set = %v, want cold", m)
+	}
+}
+
+// Property: miss rate is within [cold, 1], monotone non-increasing in
+// allocation and non-decreasing in working set.
+func TestMissRateMonotone(t *testing.T) {
+	f := func(wsRaw, allocRaw uint32, coldRaw float64) bool {
+		ws := int64(wsRaw)
+		alloc := int64(allocRaw)
+		cold := math.Abs(math.Mod(coldRaw, 1))
+		if math.IsNaN(cold) {
+			cold = 0
+		}
+		m := MissRate(ws, alloc, cold)
+		if m < cold-1e-12 || m > 1+1e-12 {
+			return false
+		}
+		mMoreCache := MissRate(ws, alloc+1<<16, cold)
+		mMoreWork := MissRate(ws+1<<16, alloc, cold)
+		return mMoreCache <= m+1e-12 && mMoreWork >= m-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDDIOOverflow(t *testing.T) {
+	const meg = int64(1 << 20)
+	if e := DDIOOverflowEvictions(meg, 2*meg, 0.3); e != 0 {
+		t.Errorf("fitting DMA buffer evictions = %v, want 0", e)
+	}
+	// 4 MiB buffer on 2 MiB DDIO: half spills.
+	e := DDIOOverflowEvictions(4*meg, 2*meg, 0.3)
+	if math.Abs(e-0.15) > 1e-9 {
+		t.Errorf("spill evictions = %v, want 0.15", e)
+	}
+	// Saturation: huge buffer approaches maxTerm.
+	e = DDIOOverflowEvictions(1000*meg, 2*meg, 0.3)
+	if e <= 0.29 || e > 0.3 {
+		t.Errorf("saturated evictions = %v, want ≈0.3", e)
+	}
+}
+
+func TestMaskLookups(t *testing.T) {
+	c := MustNewCAT(XeonE5v4())
+	m, err := c.Mask(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != (1<<18)-1 {
+		t.Errorf("CLOS 0 mask = %b, want 18 ways", m)
+	}
+	if _, err := c.Mask(7); err != ErrUnknownCLOS {
+		t.Errorf("unknown CLOS mask: %v", err)
+	}
+	_ = c.Assign("g1", 0)
+	_ = c.Assign("g2", 0)
+	groups := c.Groups()
+	if len(groups) != 2 || groups[0] != "g1" || groups[1] != "g2" {
+		t.Errorf("groups = %v", groups)
+	}
+}

@@ -1,0 +1,467 @@
+// Package cpu models the processor-side control surface GreenNFV
+// tunes: per-core DVFS (the cpufrequtils userspace governor of the
+// paper), power governors, C-state sleeping for idle NFs, and
+// cgroup-style CPU shares.
+//
+// The model mirrors the paper's testbed: dual-socket Intel Xeon
+// E5-2620 v4 with 8 cores per socket (16 total) and a DVFS ladder
+// from 1.2 GHz to 2.1 GHz in 100 MHz steps.
+package cpu
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Governor selects a frequency-management policy, matching the Linux
+// cpufreq governors the paper enumerates.
+type Governor int
+
+const (
+	// GovernorPerformance pins every core at the maximum frequency
+	// (the paper's Baseline configuration).
+	GovernorPerformance Governor = iota
+	// GovernorPowersave pins every core at the minimum frequency.
+	GovernorPowersave
+	// GovernorUserspace lets software set frequencies explicitly;
+	// GreenNFV uses this governor for its DVFS actions.
+	GovernorUserspace
+	// GovernorOndemand raises frequency with utilization aggressively.
+	GovernorOndemand
+	// GovernorConservative raises frequency with utilization gradually.
+	GovernorConservative
+)
+
+// String implements fmt.Stringer.
+func (g Governor) String() string {
+	switch g {
+	case GovernorPerformance:
+		return "performance"
+	case GovernorPowersave:
+		return "powersave"
+	case GovernorUserspace:
+		return "userspace"
+	case GovernorOndemand:
+		return "ondemand"
+	case GovernorConservative:
+		return "conservative"
+	default:
+		return fmt.Sprintf("governor(%d)", int(g))
+	}
+}
+
+// CState is a processor idle state. Deeper states save more power but
+// cost more wakeup latency; the NF manager puts sleeping NF cores in
+// C3/C6 when their queues drain (paper §4.4: "when there is no packet
+// to process, we put NF to sleep until a new packet arrives").
+type CState int
+
+const (
+	// C0 is the active state.
+	C0 CState = iota
+	// C1 is a light halt: negligible wake latency, modest savings.
+	C1
+	// C3 is a deeper sleep with flushed core caches.
+	C3
+	// C6 is power gating: best savings, largest wake latency.
+	C6
+)
+
+// String implements fmt.Stringer.
+func (c CState) String() string {
+	switch c {
+	case C0:
+		return "C0"
+	case C1:
+		return "C1"
+	case C3:
+		return "C3"
+	case C6:
+		return "C6"
+	default:
+		return fmt.Sprintf("C?(%d)", int(c))
+	}
+}
+
+// WakeLatency reports the wakeup latency in microseconds for a
+// C-state, after Intel's documented E5 v4 exit latencies.
+func (c CState) WakeLatency() float64 {
+	switch c {
+	case C0:
+		return 0
+	case C1:
+		return 2
+	case C3:
+		return 40
+	case C6:
+		return 130
+	default:
+		return 0
+	}
+}
+
+// IdlePowerFraction reports residual core power in a C-state as a
+// fraction of active idle (C0 busy-poll baseline).
+func (c CState) IdlePowerFraction() float64 {
+	switch c {
+	case C0:
+		return 1.0
+	case C1:
+		return 0.55
+	case C3:
+		return 0.25
+	case C6:
+		return 0.05
+	default:
+		return 1.0
+	}
+}
+
+// Core is one logical core's state.
+type Core struct {
+	ID       int
+	Socket   int
+	FreqGHz  float64
+	State    CState
+	busyFrac float64 // most recent utilization report, [0,1]
+}
+
+// Utilization reports the core's last recorded busy fraction.
+func (c *Core) Utilization() float64 { return c.busyFrac }
+
+// Topology describes a processor package layout.
+type Topology struct {
+	Sockets        int
+	CoresPerSocket int
+	// Freqs is the ascending DVFS ladder in GHz.
+	Freqs []float64
+}
+
+// XeonE5v4 returns the paper testbed's topology: dual-socket
+// E5-2620 v4, 8 cores each, 1.2–2.1 GHz in 100 MHz steps.
+func XeonE5v4() Topology {
+	freqs := make([]float64, 0, 10)
+	for f := 1.2; f <= 2.1+1e-9; f += 0.1 {
+		freqs = append(freqs, roundGHz(f))
+	}
+	return Topology{Sockets: 2, CoresPerSocket: 8, Freqs: freqs}
+}
+
+func roundGHz(f float64) float64 {
+	return float64(int(f*10+0.5)) / 10
+}
+
+// Validate reports whether the topology is usable.
+func (t Topology) Validate() error {
+	if t.Sockets <= 0 || t.CoresPerSocket <= 0 {
+		return errors.New("cpu: topology needs at least one core")
+	}
+	if len(t.Freqs) == 0 {
+		return errors.New("cpu: topology needs a DVFS ladder")
+	}
+	if !sort.Float64sAreSorted(t.Freqs) {
+		return errors.New("cpu: DVFS ladder must be ascending")
+	}
+	if t.Freqs[0] <= 0 {
+		return errors.New("cpu: frequencies must be positive")
+	}
+	return nil
+}
+
+// Processor is the controllable CPU complex. It is safe for
+// concurrent use: the NF manager adjusts knobs from the controller
+// goroutine while worker goroutines query state.
+type Processor struct {
+	mu       sync.RWMutex
+	topo     Topology
+	cores    []Core
+	governor Governor
+}
+
+// New builds a Processor from a topology, with every core online at
+// the minimum frequency under the userspace governor.
+func New(topo Topology) (*Processor, error) {
+	if err := topo.Validate(); err != nil {
+		return nil, err
+	}
+	n := topo.Sockets * topo.CoresPerSocket
+	cores := make([]Core, n)
+	for i := range cores {
+		cores[i] = Core{
+			ID:      i,
+			Socket:  i / topo.CoresPerSocket,
+			FreqGHz: topo.Freqs[0],
+			State:   C0,
+		}
+	}
+	return &Processor{topo: topo, cores: cores, governor: GovernorUserspace}, nil
+}
+
+// MustNew is New that panics on error, for construction from known-
+// good topologies.
+func MustNew(topo Topology) *Processor {
+	p, err := New(topo)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// NumCores reports the total logical core count.
+func (p *Processor) NumCores() int {
+	return p.topo.Sockets * p.topo.CoresPerSocket
+}
+
+// Topology returns a copy of the processor topology.
+func (p *Processor) Topology() Topology {
+	freqs := make([]float64, len(p.topo.Freqs))
+	copy(freqs, p.topo.Freqs)
+	t := p.topo
+	t.Freqs = freqs
+	return t
+}
+
+// FMin and FMax report the DVFS ladder bounds.
+func (p *Processor) FMin() float64 { return p.topo.Freqs[0] }
+
+// FMax reports the top of the DVFS ladder.
+func (p *Processor) FMax() float64 { return p.topo.Freqs[len(p.topo.Freqs)-1] }
+
+// SetGovernor switches the frequency policy. Performance and
+// powersave immediately repin all cores.
+func (p *Processor) SetGovernor(g Governor) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.governor = g
+	switch g {
+	case GovernorPerformance:
+		for i := range p.cores {
+			p.cores[i].FreqGHz = p.topo.Freqs[len(p.topo.Freqs)-1]
+		}
+	case GovernorPowersave:
+		for i := range p.cores {
+			p.cores[i].FreqGHz = p.topo.Freqs[0]
+		}
+	}
+}
+
+// Governor reports the active policy.
+func (p *Processor) Governor() Governor {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.governor
+}
+
+// SetFreq sets a core's frequency, snapping to the nearest ladder
+// step. It fails unless the userspace governor is active (matching
+// cpufrequtils semantics) or the core ID is out of range.
+func (p *Processor) SetFreq(core int, ghz float64) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.governor != GovernorUserspace {
+		return fmt.Errorf("cpu: SetFreq requires userspace governor, have %v", p.governor)
+	}
+	if core < 0 || core >= len(p.cores) {
+		return fmt.Errorf("cpu: core %d out of range [0,%d)", core, len(p.cores))
+	}
+	p.cores[core].FreqGHz = p.nearestFreq(ghz)
+	return nil
+}
+
+// SetAllFreqs sets every core to the nearest ladder step of ghz.
+func (p *Processor) SetAllFreqs(ghz float64) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.governor != GovernorUserspace {
+		return fmt.Errorf("cpu: SetAllFreqs requires userspace governor, have %v", p.governor)
+	}
+	f := p.nearestFreq(ghz)
+	for i := range p.cores {
+		p.cores[i].FreqGHz = f
+	}
+	return nil
+}
+
+// nearestFreq snaps to the closest ladder entry. Caller holds mu.
+func (p *Processor) nearestFreq(ghz float64) float64 {
+	best := p.topo.Freqs[0]
+	bestD := diff(ghz, best)
+	for _, f := range p.topo.Freqs[1:] {
+		if d := diff(ghz, f); d < bestD {
+			best, bestD = f, d
+		}
+	}
+	return best
+}
+
+func diff(a, b float64) float64 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}
+
+// StepFreq moves a core up (+1) or down (-1) one ladder step,
+// returning the new frequency. Paper Algorithm 1 uses exactly this
+// "nearest smaller/larger available frequency" operation.
+func (p *Processor) StepFreq(core int, direction int) (float64, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if core < 0 || core >= len(p.cores) {
+		return 0, fmt.Errorf("cpu: core %d out of range", core)
+	}
+	cur := p.cores[core].FreqGHz
+	idx := 0
+	for i, f := range p.topo.Freqs {
+		if diff(f, cur) < 1e-9 {
+			idx = i
+			break
+		}
+	}
+	switch {
+	case direction > 0 && idx < len(p.topo.Freqs)-1:
+		idx++
+	case direction < 0 && idx > 0:
+		idx--
+	}
+	p.cores[core].FreqGHz = p.topo.Freqs[idx]
+	return p.topo.Freqs[idx], nil
+}
+
+// Freq reports a core's current frequency.
+func (p *Processor) Freq(core int) (float64, error) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if core < 0 || core >= len(p.cores) {
+		return 0, fmt.Errorf("cpu: core %d out of range", core)
+	}
+	return p.cores[core].FreqGHz, nil
+}
+
+// MeanFreq reports the average frequency across cores in C0/C1.
+func (p *Processor) MeanFreq() float64 {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	var sum float64
+	var n int
+	for i := range p.cores {
+		if p.cores[i].State <= C1 {
+			sum += p.cores[i].FreqGHz
+			n++
+		}
+	}
+	if n == 0 {
+		return p.topo.Freqs[0]
+	}
+	return sum / float64(n)
+}
+
+// SetCState moves a core into an idle state (or back to C0).
+func (p *Processor) SetCState(core int, s CState) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if core < 0 || core >= len(p.cores) {
+		return fmt.Errorf("cpu: core %d out of range", core)
+	}
+	p.cores[core].State = s
+	return nil
+}
+
+// CStateOf reports a core's idle state.
+func (p *Processor) CStateOf(core int) (CState, error) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if core < 0 || core >= len(p.cores) {
+		return C0, fmt.Errorf("cpu: core %d out of range", core)
+	}
+	return p.cores[core].State, nil
+}
+
+// ReportUtilization records a core's busy fraction for the current
+// accounting interval (values clamp to [0,1]).
+func (p *Processor) ReportUtilization(core int, busy float64) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if core < 0 || core >= len(p.cores) {
+		return fmt.Errorf("cpu: core %d out of range", core)
+	}
+	if busy < 0 {
+		busy = 0
+	}
+	if busy > 1 {
+		busy = 1
+	}
+	p.cores[core].busyFrac = busy
+	return nil
+}
+
+// Utilization reports the mean busy fraction across all cores, with
+// sleeping cores contributing their residual fraction scaled by the
+// C-state (a core in C6 is effectively 0).
+func (p *Processor) Utilization() float64 {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	var sum float64
+	for i := range p.cores {
+		if p.cores[i].State == C0 {
+			sum += p.cores[i].busyFrac
+		}
+	}
+	return sum / float64(len(p.cores))
+}
+
+// ApplyGovernorTick runs one interval of the dynamic governors
+// (ondemand/conservative), adjusting each core's frequency from its
+// reported utilization. Userspace/performance/powersave are no-ops.
+func (p *Processor) ApplyGovernorTick() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	switch p.governor {
+	case GovernorOndemand:
+		for i := range p.cores {
+			if p.cores[i].busyFrac > 0.8 {
+				p.cores[i].FreqGHz = p.topo.Freqs[len(p.topo.Freqs)-1]
+			} else if p.cores[i].busyFrac < 0.3 {
+				p.cores[i].FreqGHz = p.stepOf(p.cores[i].FreqGHz, -1)
+			}
+		}
+	case GovernorConservative:
+		for i := range p.cores {
+			if p.cores[i].busyFrac > 0.8 {
+				p.cores[i].FreqGHz = p.stepOf(p.cores[i].FreqGHz, +1)
+			} else if p.cores[i].busyFrac < 0.3 {
+				p.cores[i].FreqGHz = p.stepOf(p.cores[i].FreqGHz, -1)
+			}
+		}
+	}
+}
+
+// stepOf returns the ladder entry one step from f. Caller holds mu.
+func (p *Processor) stepOf(f float64, dir int) float64 {
+	idx := 0
+	for i, lf := range p.topo.Freqs {
+		if diff(lf, f) < 1e-9 {
+			idx = i
+			break
+		}
+	}
+	idx += dir
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(p.topo.Freqs) {
+		idx = len(p.topo.Freqs) - 1
+	}
+	return p.topo.Freqs[idx]
+}
+
+// Snapshot returns a copy of all core states for observability.
+func (p *Processor) Snapshot() []Core {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	out := make([]Core, len(p.cores))
+	copy(out, p.cores)
+	return out
+}

@@ -1,0 +1,256 @@
+package cpu
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestXeonE5v4Topology(t *testing.T) {
+	topo := XeonE5v4()
+	if err := topo.Validate(); err != nil {
+		t.Fatalf("testbed topology invalid: %v", err)
+	}
+	if topo.Sockets != 2 || topo.CoresPerSocket != 8 {
+		t.Errorf("topology = %d sockets x %d cores, want 2x8", topo.Sockets, topo.CoresPerSocket)
+	}
+	if topo.Freqs[0] != 1.2 || topo.Freqs[len(topo.Freqs)-1] != 2.1 {
+		t.Errorf("ladder = [%v..%v], want [1.2..2.1]", topo.Freqs[0], topo.Freqs[len(topo.Freqs)-1])
+	}
+	if len(topo.Freqs) != 10 {
+		t.Errorf("ladder has %d steps, want 10", len(topo.Freqs))
+	}
+}
+
+func TestTopologyValidation(t *testing.T) {
+	bad := []Topology{
+		{Sockets: 0, CoresPerSocket: 8, Freqs: []float64{1}},
+		{Sockets: 1, CoresPerSocket: 0, Freqs: []float64{1}},
+		{Sockets: 1, CoresPerSocket: 1, Freqs: nil},
+		{Sockets: 1, CoresPerSocket: 1, Freqs: []float64{2, 1}},
+		{Sockets: 1, CoresPerSocket: 1, Freqs: []float64{0}},
+	}
+	for i, topo := range bad {
+		if err := topo.Validate(); err == nil {
+			t.Errorf("case %d: invalid topology accepted", i)
+		}
+	}
+}
+
+func TestProcessorDefaults(t *testing.T) {
+	p := MustNew(XeonE5v4())
+	if p.NumCores() != 16 {
+		t.Fatalf("cores = %d, want 16", p.NumCores())
+	}
+	if p.Governor() != GovernorUserspace {
+		t.Errorf("governor = %v, want userspace", p.Governor())
+	}
+	f, err := p.Freq(0)
+	if err != nil || f != 1.2 {
+		t.Errorf("initial freq = %v (%v), want 1.2", f, err)
+	}
+	if p.FMin() != 1.2 || p.FMax() != 2.1 {
+		t.Errorf("FMin/FMax = %v/%v", p.FMin(), p.FMax())
+	}
+}
+
+func TestSetFreqSnapsToLadder(t *testing.T) {
+	p := MustNew(XeonE5v4())
+	if err := p.SetFreq(3, 1.74); err != nil {
+		t.Fatal(err)
+	}
+	f, _ := p.Freq(3)
+	if f != 1.7 {
+		t.Errorf("freq = %v, want snap to 1.7", f)
+	}
+	if err := p.SetFreq(3, 99); err != nil {
+		t.Fatal(err)
+	}
+	f, _ = p.Freq(3)
+	if f != 2.1 {
+		t.Errorf("freq = %v, want clamp to 2.1", f)
+	}
+	if err := p.SetFreq(99, 1.5); err == nil {
+		t.Error("out-of-range core accepted")
+	}
+}
+
+func TestSetFreqRequiresUserspace(t *testing.T) {
+	p := MustNew(XeonE5v4())
+	p.SetGovernor(GovernorPerformance)
+	if err := p.SetFreq(0, 1.5); err == nil {
+		t.Error("SetFreq allowed under performance governor")
+	}
+	if err := p.SetAllFreqs(1.5); err == nil {
+		t.Error("SetAllFreqs allowed under performance governor")
+	}
+	// Performance governor pins to max.
+	f, _ := p.Freq(0)
+	if f != 2.1 {
+		t.Errorf("performance governor freq = %v, want 2.1", f)
+	}
+	p.SetGovernor(GovernorPowersave)
+	f, _ = p.Freq(0)
+	if f != 1.2 {
+		t.Errorf("powersave governor freq = %v, want 1.2", f)
+	}
+}
+
+func TestStepFreq(t *testing.T) {
+	p := MustNew(XeonE5v4())
+	_ = p.SetAllFreqs(1.5)
+	got, err := p.StepFreq(0, +1)
+	if err != nil || math.Abs(got-1.6) > 1e-9 {
+		t.Errorf("step up = %v (%v), want 1.6", got, err)
+	}
+	got, _ = p.StepFreq(0, -1)
+	if math.Abs(got-1.5) > 1e-9 {
+		t.Errorf("step down = %v, want 1.5", got)
+	}
+	// Clamp at the bottom.
+	_ = p.SetAllFreqs(1.2)
+	got, _ = p.StepFreq(0, -1)
+	if got != 1.2 {
+		t.Errorf("step below min = %v, want 1.2", got)
+	}
+	// Clamp at the top.
+	_ = p.SetAllFreqs(2.1)
+	got, _ = p.StepFreq(0, +1)
+	if got != 2.1 {
+		t.Errorf("step above max = %v, want 2.1", got)
+	}
+	if _, err := p.StepFreq(-1, +1); err == nil {
+		t.Error("negative core accepted")
+	}
+}
+
+func TestCStates(t *testing.T) {
+	p := MustNew(XeonE5v4())
+	if err := p.SetCState(5, C6); err != nil {
+		t.Fatal(err)
+	}
+	s, err := p.CStateOf(5)
+	if err != nil || s != C6 {
+		t.Errorf("cstate = %v (%v), want C6", s, err)
+	}
+	if C6.WakeLatency() <= C1.WakeLatency() {
+		t.Error("deeper C-state should have larger wake latency")
+	}
+	if C6.IdlePowerFraction() >= C1.IdlePowerFraction() {
+		t.Error("deeper C-state should save more power")
+	}
+	if _, err := p.CStateOf(100); err == nil {
+		t.Error("out-of-range core accepted")
+	}
+}
+
+func TestUtilizationAccounting(t *testing.T) {
+	p := MustNew(XeonE5v4())
+	for i := 0; i < 8; i++ {
+		if err := p.ReportUtilization(i, 1.0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 8 of 16 cores fully busy → 50%.
+	if u := p.Utilization(); math.Abs(u-0.5) > 1e-9 {
+		t.Errorf("utilization = %v, want 0.5", u)
+	}
+	// Sleeping cores do not count.
+	_ = p.SetCState(0, C6)
+	if u := p.Utilization(); math.Abs(u-7.0/16) > 1e-9 {
+		t.Errorf("utilization = %v, want %v", u, 7.0/16)
+	}
+	// Clamping.
+	_ = p.ReportUtilization(1, 3.0)
+	snap := p.Snapshot()
+	if snap[1].Utilization() != 1 {
+		t.Errorf("utilization clamped = %v, want 1", snap[1].Utilization())
+	}
+	if err := p.ReportUtilization(-3, 0.5); err == nil {
+		t.Error("negative core accepted")
+	}
+}
+
+func TestOndemandGovernorTick(t *testing.T) {
+	p := MustNew(XeonE5v4())
+	_ = p.SetAllFreqs(1.5)
+	p.SetGovernor(GovernorOndemand)
+	_ = p.ReportUtilization(0, 0.95) // hot core jumps to max
+	_ = p.ReportUtilization(1, 0.1)  // cold core steps down
+	p.ApplyGovernorTick()
+	f0, _ := p.Freq(0)
+	f1, _ := p.Freq(1)
+	if f0 != 2.1 {
+		t.Errorf("ondemand hot core = %v, want 2.1", f0)
+	}
+	if math.Abs(f1-1.4) > 1e-9 {
+		t.Errorf("ondemand cold core = %v, want 1.4", f1)
+	}
+}
+
+func TestConservativeGovernorTick(t *testing.T) {
+	p := MustNew(XeonE5v4())
+	_ = p.SetAllFreqs(1.5)
+	p.SetGovernor(GovernorConservative)
+	_ = p.ReportUtilization(0, 0.95)
+	p.ApplyGovernorTick()
+	f0, _ := p.Freq(0)
+	if math.Abs(f0-1.6) > 1e-9 {
+		t.Errorf("conservative hot core = %v, want one step to 1.6", f0)
+	}
+}
+
+func TestMeanFreqSkipsSleepers(t *testing.T) {
+	p := MustNew(XeonE5v4())
+	_ = p.SetAllFreqs(2.1)
+	_ = p.SetFreq(0, 1.2)
+	_ = p.SetCState(0, C6) // excluded
+	if mf := p.MeanFreq(); math.Abs(mf-2.1) > 1e-9 {
+		t.Errorf("mean freq = %v, want 2.1", mf)
+	}
+}
+
+func TestGovernorString(t *testing.T) {
+	names := map[Governor]string{
+		GovernorPerformance:  "performance",
+		GovernorPowersave:    "powersave",
+		GovernorUserspace:    "userspace",
+		GovernorOndemand:     "ondemand",
+		GovernorConservative: "conservative",
+	}
+	for g, want := range names {
+		if g.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(g), g.String(), want)
+		}
+	}
+	if C3.String() != "C3" {
+		t.Errorf("C3.String() = %q", C3.String())
+	}
+}
+
+// Property: SetFreq always lands exactly on a ladder entry.
+func TestSetFreqAlwaysOnLadder(t *testing.T) {
+	p := MustNew(XeonE5v4())
+	ladder := p.Topology().Freqs
+	onLadder := func(f float64) bool {
+		for _, lf := range ladder {
+			if math.Abs(lf-f) < 1e-9 {
+				return true
+			}
+		}
+		return false
+	}
+	check := func(raw float64) bool {
+		if math.IsNaN(raw) || math.IsInf(raw, 0) {
+			return true
+		}
+		if err := p.SetFreq(2, raw); err != nil {
+			return false
+		}
+		f, _ := p.Freq(2)
+		return onLadder(f)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

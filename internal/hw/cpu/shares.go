@@ -1,0 +1,160 @@
+package cpu
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// ShareScheduler models cgroup CPU shares ("cpu.shares"): each group
+// (one per NF) declares a weight, and contended CPU time divides
+// proportionally to weight, capped by each group's quota. This is the
+// mechanism the paper borrows from NFVNice for CPU scheduling of NFs.
+type ShareScheduler struct {
+	mu     sync.RWMutex
+	groups map[string]*shareGroup
+}
+
+type shareGroup struct {
+	weight float64 // relative share weight (cpu.shares)
+	quota  float64 // cap in cores (cpu.cfs_quota/period); 0 = unlimited
+	demand float64 // requested cores this interval
+}
+
+// NewShareScheduler returns an empty scheduler.
+func NewShareScheduler() *ShareScheduler {
+	return &ShareScheduler{groups: make(map[string]*shareGroup)}
+}
+
+// SetGroup creates or updates a group's weight and quota. Weight must
+// be positive; quota <= 0 means uncapped.
+func (s *ShareScheduler) SetGroup(name string, weight, quotaCores float64) error {
+	if weight <= 0 {
+		return fmt.Errorf("cpu: group %q weight must be positive", name)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	g, ok := s.groups[name]
+	if !ok {
+		g = &shareGroup{}
+		s.groups[name] = g
+	}
+	g.weight = weight
+	g.quota = quotaCores
+	return nil
+}
+
+// RemoveGroup deletes a group; unknown names are ignored.
+func (s *ShareScheduler) RemoveGroup(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.groups, name)
+}
+
+// SetDemand records how many cores a group wants this interval.
+func (s *ShareScheduler) SetDemand(name string, cores float64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	g, ok := s.groups[name]
+	if !ok {
+		return fmt.Errorf("cpu: unknown group %q", name)
+	}
+	if cores < 0 {
+		cores = 0
+	}
+	g.demand = cores
+	return nil
+}
+
+// Allocate divides `capacity` cores among the groups proportionally
+// to weight, honoring quotas and never granting more than demand.
+// Surplus from satisfied groups redistributes to the still-hungry
+// ones (water-filling), exactly like CFS group scheduling behaves
+// under contention. The returned map grants cores per group.
+func (s *ShareScheduler) Allocate(capacity float64) map[string]float64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	grant := make(map[string]float64, len(s.groups))
+	if capacity <= 0 || len(s.groups) == 0 {
+		for name := range s.groups {
+			grant[name] = 0
+		}
+		return grant
+	}
+
+	// Water-filling over the unsatisfied set. Iterate names in sorted
+	// order for determinism.
+	type entry struct {
+		name   string
+		g      *shareGroup
+		limit  float64 // min(demand, quota)
+		given  float64
+		active bool
+	}
+	entries := make([]entry, 0, len(s.groups))
+	names := make([]string, 0, len(s.groups))
+	for name := range s.groups {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		g := s.groups[name]
+		limit := g.demand
+		if g.quota > 0 && g.quota < limit {
+			limit = g.quota
+		}
+		entries = append(entries, entry{name: name, g: g, limit: limit, active: limit > 0})
+	}
+
+	remaining := capacity
+	for iter := 0; iter < len(entries)+1; iter++ {
+		var weightSum float64
+		for i := range entries {
+			if entries[i].active {
+				weightSum += entries[i].g.weight
+			}
+		}
+		if weightSum == 0 || remaining <= 1e-12 {
+			break
+		}
+		allSatisfied := true
+		consumed := 0.0
+		for i := range entries {
+			e := &entries[i]
+			if !e.active {
+				continue
+			}
+			fair := remaining * e.g.weight / weightSum
+			room := e.limit - e.given
+			if fair >= room {
+				e.given = e.limit
+				e.active = false
+				consumed += room
+				allSatisfied = false
+			} else {
+				e.given += fair
+				consumed += fair
+			}
+		}
+		remaining -= consumed
+		if allSatisfied {
+			break
+		}
+	}
+	for i := range entries {
+		grant[entries[i].name] = entries[i].given
+	}
+	return grant
+}
+
+// Groups reports the group names in sorted order.
+func (s *ShareScheduler) Groups() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	names := make([]string, 0, len(s.groups))
+	for name := range s.groups {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,159 @@
+package cpu
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSharesProportionalSplit(t *testing.T) {
+	s := NewShareScheduler()
+	_ = s.SetGroup("a", 2, 0)
+	_ = s.SetGroup("b", 1, 0)
+	_ = s.SetDemand("a", 10)
+	_ = s.SetDemand("b", 10)
+	grant := s.Allocate(3)
+	if math.Abs(grant["a"]-2) > 1e-9 || math.Abs(grant["b"]-1) > 1e-9 {
+		t.Errorf("grant = %v, want a=2 b=1", grant)
+	}
+}
+
+func TestSharesSurplusRedistributes(t *testing.T) {
+	s := NewShareScheduler()
+	_ = s.SetGroup("small", 1, 0)
+	_ = s.SetGroup("big", 1, 0)
+	_ = s.SetDemand("small", 0.5) // satisfied early
+	_ = s.SetDemand("big", 10)
+	grant := s.Allocate(4)
+	if math.Abs(grant["small"]-0.5) > 1e-9 {
+		t.Errorf("small = %v, want 0.5", grant["small"])
+	}
+	if math.Abs(grant["big"]-3.5) > 1e-9 {
+		t.Errorf("big = %v, want 3.5 (surplus redistributed)", grant["big"])
+	}
+}
+
+func TestSharesQuotaCaps(t *testing.T) {
+	s := NewShareScheduler()
+	_ = s.SetGroup("capped", 10, 1) // huge weight, 1-core quota
+	_ = s.SetGroup("other", 1, 0)
+	_ = s.SetDemand("capped", 8)
+	_ = s.SetDemand("other", 8)
+	grant := s.Allocate(4)
+	if grant["capped"] > 1+1e-9 {
+		t.Errorf("capped = %v, quota violated", grant["capped"])
+	}
+	if math.Abs(grant["other"]-3) > 1e-9 {
+		t.Errorf("other = %v, want 3", grant["other"])
+	}
+}
+
+func TestSharesZeroDemand(t *testing.T) {
+	s := NewShareScheduler()
+	_ = s.SetGroup("idle", 1, 0)
+	_ = s.SetGroup("busy", 1, 0)
+	_ = s.SetDemand("busy", 2)
+	grant := s.Allocate(4)
+	if grant["idle"] != 0 {
+		t.Errorf("idle granted %v, want 0", grant["idle"])
+	}
+	if math.Abs(grant["busy"]-2) > 1e-9 {
+		t.Errorf("busy = %v, want 2 (capped by demand)", grant["busy"])
+	}
+}
+
+func TestSharesErrors(t *testing.T) {
+	s := NewShareScheduler()
+	if err := s.SetGroup("x", 0, 0); err == nil {
+		t.Error("zero weight accepted")
+	}
+	if err := s.SetDemand("nope", 1); err == nil {
+		t.Error("unknown group accepted")
+	}
+	_ = s.SetGroup("x", 1, 0)
+	if err := s.SetDemand("x", -5); err != nil {
+		t.Errorf("negative demand should clamp, got error %v", err)
+	}
+	grant := s.Allocate(1)
+	if grant["x"] != 0 {
+		t.Errorf("clamped demand granted %v, want 0", grant["x"])
+	}
+	s.RemoveGroup("x")
+	s.RemoveGroup("x") // idempotent
+	if len(s.Groups()) != 0 {
+		t.Error("group not removed")
+	}
+}
+
+func TestSharesEmptyAndZeroCapacity(t *testing.T) {
+	s := NewShareScheduler()
+	if grant := s.Allocate(4); len(grant) != 0 {
+		t.Errorf("empty scheduler granted %v", grant)
+	}
+	_ = s.SetGroup("a", 1, 0)
+	_ = s.SetDemand("a", 1)
+	grant := s.Allocate(0)
+	if grant["a"] != 0 {
+		t.Errorf("zero capacity granted %v", grant["a"])
+	}
+}
+
+// Property: total grant never exceeds capacity, no group exceeds its
+// demand or quota, and grants are non-negative.
+func TestSharesInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 200; trial++ {
+		s := NewShareScheduler()
+		n := 1 + rng.Intn(6)
+		demands := make(map[string]float64, n)
+		quotas := make(map[string]float64, n)
+		for i := 0; i < n; i++ {
+			name := string(rune('a' + i))
+			w := rng.Float64()*9 + 0.1
+			q := 0.0
+			if rng.Intn(2) == 0 {
+				q = rng.Float64() * 4
+			}
+			_ = s.SetGroup(name, w, q)
+			d := rng.Float64() * 6
+			_ = s.SetDemand(name, d)
+			demands[name], quotas[name] = d, q
+		}
+		capacity := rng.Float64() * 16
+		grant := s.Allocate(capacity)
+		var total float64
+		for name, g := range grant {
+			if g < -1e-9 {
+				t.Fatalf("trial %d: negative grant %v", trial, g)
+			}
+			if g > demands[name]+1e-9 {
+				t.Fatalf("trial %d: grant %v exceeds demand %v", trial, g, demands[name])
+			}
+			if q := quotas[name]; q > 0 && g > q+1e-9 {
+				t.Fatalf("trial %d: grant %v exceeds quota %v", trial, g, q)
+			}
+			total += g
+		}
+		if total > capacity+1e-6 {
+			t.Fatalf("trial %d: total grant %v exceeds capacity %v", trial, total, capacity)
+		}
+	}
+}
+
+// Property: if total demand fits within capacity and quotas, everyone
+// gets exactly their demand (work conservation).
+func TestSharesWorkConserving(t *testing.T) {
+	s := NewShareScheduler()
+	_ = s.SetGroup("a", 5, 0)
+	_ = s.SetGroup("b", 1, 0)
+	_ = s.SetGroup("c", 2, 0)
+	_ = s.SetDemand("a", 1)
+	_ = s.SetDemand("b", 1.5)
+	_ = s.SetDemand("c", 0.25)
+	grant := s.Allocate(16)
+	for name, want := range map[string]float64{"a": 1, "b": 1.5, "c": 0.25} {
+		if math.Abs(grant[name]-want) > 1e-9 {
+			t.Errorf("%s = %v, want %v", name, grant[name], want)
+		}
+	}
+}

@@ -1,0 +1,123 @@
+// Package dma models the NIC DMA buffer (descriptor rings plus packet
+// buffer pool) whose size is one of GreenNFV's five control knobs.
+//
+// The buffer interacts with the cache hierarchy through Intel Data
+// Direct I/O (DDIO): the NIC DMAs packets straight into the DDIO
+// partition of the LLC, so a buffer that fits inside that partition
+// gives the NF chain warm packets, while an oversized buffer spills
+// writes into the shared ways and evicts NF working state (the
+// rise-then-fall of paper Figure 4). An undersized buffer, on the
+// other hand, cannot absorb arrival bursts and drops packets at the
+// NIC.
+package dma
+
+import (
+	"errors"
+	"math"
+)
+
+// Buffer describes a DMA buffer configuration.
+type Buffer struct {
+	// Bytes is the total buffer capacity.
+	Bytes int64
+	// DescriptorBytes is the per-packet descriptor overhead
+	// (16 B on the X540; descriptors live in the buffer too).
+	DescriptorBytes int64
+	// FrameBytes is the MTU-sized slot reserved per packet
+	// (2 KiB mbuf slots in DPDK for 1518 B frames).
+	FrameBytes int64
+}
+
+// Default returns a buffer sized like the paper's default
+// configuration (2 MB, DPDK 2 KiB mbufs, 16 B descriptors).
+func Default() Buffer {
+	return Buffer{Bytes: 2 << 20, DescriptorBytes: 16, FrameBytes: 2048}
+}
+
+// Validate reports whether the buffer shape is usable.
+func (b Buffer) Validate() error {
+	switch {
+	case b.Bytes <= 0:
+		return errors.New("dma: buffer must have positive capacity")
+	case b.DescriptorBytes < 0:
+		return errors.New("dma: descriptor size cannot be negative")
+	case b.FrameBytes <= 0:
+		return errors.New("dma: frame slot must be positive")
+	}
+	return nil
+}
+
+// Slots reports how many packet slots the buffer holds.
+func (b Buffer) Slots() int64 {
+	per := b.FrameBytes + b.DescriptorBytes
+	if per <= 0 {
+		return 0
+	}
+	return b.Bytes / per
+}
+
+// WithBytes returns a copy resized to n bytes (minimum one slot).
+func (b Buffer) WithBytes(n int64) Buffer {
+	min := b.FrameBytes + b.DescriptorBytes
+	if n < min {
+		n = min
+	}
+	b.Bytes = n
+	return b
+}
+
+// AbsorbableBurst reports the largest packet burst (in packets) the
+// buffer can absorb without drops while the chain drains at
+// `drainPps` and the burst arrives at `arrivalPps`. For arrival
+// slower than drain the burst is unbounded and +Inf is returned.
+func (b Buffer) AbsorbableBurst(arrivalPps, drainPps float64) float64 {
+	if arrivalPps <= drainPps {
+		return math.Inf(1)
+	}
+	// Queue grows at (arrival − drain); slots / growth-per-packet.
+	slots := float64(b.Slots())
+	growthFrac := (arrivalPps - drainPps) / arrivalPps
+	if growthFrac <= 0 {
+		return math.Inf(1)
+	}
+	return slots / growthFrac
+}
+
+// DropProbability estimates the steady-state packet drop probability
+// for a finite buffer of k slots under an M/M/1/k approximation with
+// offered load rho = arrival/drain. This captures the paper's
+// observation that tiny DMA buffers throttle throughput.
+func (b Buffer) DropProbability(arrivalPps, drainPps float64) float64 {
+	k := float64(b.Slots())
+	if k <= 0 {
+		return 1
+	}
+	if drainPps <= 0 {
+		return 1
+	}
+	rho := arrivalPps / drainPps
+	if rho < 0 {
+		return 0
+	}
+	if math.Abs(rho-1) < 1e-9 {
+		return 1 / (k + 1)
+	}
+	// P_drop = (1-rho) rho^k / (1 - rho^(k+1)), stable in log space
+	// for large k.
+	if rho < 1 {
+		num := (1 - rho) * math.Pow(rho, k)
+		den := 1 - math.Pow(rho, k+1)
+		if den == 0 {
+			return 0
+		}
+		return num / den
+	}
+	// rho > 1: P_drop → 1 − 1/rho for large k.
+	inv := 1 / rho
+	num := (1 - inv) // (rho-1)/rho
+	den := 1 - math.Pow(inv, k+1)
+	if den == 0 {
+		return 1
+	}
+	return num / den * math.Pow(inv, 0) // (rho-1)rho^k/(rho^(k+1)-1) = (1-1/rho)/(1-(1/rho)^{k+1})
+}

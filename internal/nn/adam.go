@@ -1,0 +1,90 @@
+package nn
+
+import (
+	"errors"
+	"math"
+)
+
+// Adam is the Adam optimizer (Kingma & Ba) with optional gradient
+// clipping, matching the optimizer the paper's TensorFlow learner
+// uses for both DDPG networks.
+type Adam struct {
+	LR      float64
+	Beta1   float64
+	Beta2   float64
+	Epsilon float64
+	// ClipNorm caps the global gradient L2 norm when positive.
+	ClipNorm float64
+
+	t int
+	m [][]float64
+	v [][]float64
+}
+
+// NewAdam builds an optimizer with standard hyperparameters.
+func NewAdam(lr float64) (*Adam, error) {
+	if lr <= 0 {
+		return nil, errors.New("nn: learning rate must be positive")
+	}
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Epsilon: 1e-8}, nil
+}
+
+// MustAdam is NewAdam that panics on error.
+func MustAdam(lr float64) *Adam {
+	a, err := NewAdam(lr)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Step applies one update to the network from its accumulated
+// gradients. The caller is responsible for ZeroGrad afterwards.
+func (a *Adam) Step(n *Network) {
+	params := n.ParamSlices()
+	grads := n.GradSlices()
+	if a.m == nil {
+		a.m = make([][]float64, len(params))
+		a.v = make([][]float64, len(params))
+		for i := range params {
+			a.m[i] = make([]float64, len(params[i]))
+			a.v[i] = make([]float64, len(params[i]))
+		}
+	}
+	if a.ClipNorm > 0 {
+		var norm float64
+		for i := range grads {
+			for _, g := range grads[i] {
+				norm += g * g
+			}
+		}
+		norm = math.Sqrt(norm)
+		if norm > a.ClipNorm {
+			scale := a.ClipNorm / norm
+			for i := range grads {
+				for j := range grads[i] {
+					grads[i][j] *= scale
+				}
+			}
+		}
+	}
+	a.t++
+	b1c := 1 - math.Pow(a.Beta1, float64(a.t))
+	b2c := 1 - math.Pow(a.Beta2, float64(a.t))
+	for i := range params {
+		p, g, m, v := params[i], grads[i], a.m[i], a.v[i]
+		for j := range p {
+			m[j] = a.Beta1*m[j] + (1-a.Beta1)*g[j]
+			v[j] = a.Beta2*v[j] + (1-a.Beta2)*g[j]*g[j]
+			mHat := m[j] / b1c
+			vHat := v[j] / b2c
+			p[j] -= a.LR * mHat / (math.Sqrt(vHat) + a.Epsilon)
+		}
+	}
+}
+
+// Reset clears moment estimates (e.g. after loading a checkpoint).
+func (a *Adam) Reset() {
+	a.t = 0
+	a.m, a.v = nil, nil
+}

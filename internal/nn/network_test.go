@@ -1,0 +1,342 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMLPConstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := MustMLP([]int{4, 8, 2}, ReLU, Tanh, rng)
+	if n.InputDim() != 4 || n.OutputDim() != 2 {
+		t.Errorf("dims %d/%d", n.InputDim(), n.OutputDim())
+	}
+	if n.NumParams() != 4*8+8+8*2+2 {
+		t.Errorf("params = %d", n.NumParams())
+	}
+	if _, err := NewMLP([]int{4}, ReLU, Linear, rng); err == nil {
+		t.Error("single-layer spec accepted")
+	}
+	if _, err := NewMLP([]int{4, 0, 2}, ReLU, Linear, rng); err == nil {
+		t.Error("zero-size layer accepted")
+	}
+	if _, err := NewMLP([]int{4, 2}, ReLU, Linear, nil); err == nil {
+		t.Error("nil rng accepted")
+	}
+}
+
+func TestActivations(t *testing.T) {
+	cases := []struct {
+		act  Activation
+		x    float64
+		want float64
+	}{
+		{Linear, -3, -3},
+		{ReLU, -3, 0},
+		{ReLU, 2, 2},
+		{Tanh, 0, 0},
+		{Sigmoid, 0, 0.5},
+	}
+	for _, c := range cases {
+		if got := c.act.apply(c.x); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("%v(%v) = %v, want %v", c.act, c.x, got, c.want)
+		}
+	}
+	if Tanh.String() != "tanh" || ReLU.String() != "relu" {
+		t.Error("activation names")
+	}
+}
+
+// Gradient check: backprop gradients match central finite differences
+// on a random network — the canonical correctness test for any
+// hand-written autodiff.
+func TestGradientCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	net := MustMLP([]int{3, 5, 4, 2}, Tanh, Linear, rng)
+	x := []float64{0.3, -0.8, 0.5}
+	target := []float64{0.2, -0.4}
+
+	loss := func() float64 {
+		out := net.Forward(x)
+		l := 0.0
+		for i := range out {
+			d := out[i] - target[i]
+			l += 0.5 * d * d
+		}
+		return l
+	}
+
+	// Analytic gradients.
+	net.ZeroGrad()
+	out := net.Forward(x)
+	dOut := make([]float64, len(out))
+	for i := range out {
+		dOut[i] = out[i] - target[i]
+	}
+	net.Backward(dOut)
+
+	params := net.ParamSlices()
+	grads := net.GradSlices()
+	const eps = 1e-6
+	checked := 0
+	for li := range params {
+		for j := range params[li] {
+			orig := params[li][j]
+			params[li][j] = orig + eps
+			lPlus := loss()
+			params[li][j] = orig - eps
+			lMinus := loss()
+			params[li][j] = orig
+			numeric := (lPlus - lMinus) / (2 * eps)
+			analytic := grads[li][j]
+			diff := math.Abs(numeric - analytic)
+			scale := math.Max(1e-6, math.Abs(numeric)+math.Abs(analytic))
+			if diff/scale > 1e-4 {
+				t.Fatalf("grad mismatch layer %d idx %d: analytic %v numeric %v", li, j, analytic, numeric)
+			}
+			checked++
+		}
+	}
+	if checked != net.NumParams() {
+		t.Errorf("checked %d of %d params", checked, net.NumParams())
+	}
+}
+
+// Gradient check with ReLU and sigmoid paths too (different
+// derivative branches).
+func TestGradientCheckReLUSigmoid(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	net := MustMLP([]int{4, 6, 3}, ReLU, Sigmoid, rng)
+	x := []float64{0.5, -0.2, 0.9, -0.7}
+	net.ZeroGrad()
+	out := net.Forward(x)
+	dOut := make([]float64, len(out))
+	for i := range out {
+		dOut[i] = 1.0 // L = sum(out)
+	}
+	net.Backward(dOut)
+	params := net.ParamSlices()
+	grads := net.GradSlices()
+	const eps = 1e-6
+	loss := func() float64 {
+		o := net.Forward(x)
+		s := 0.0
+		for _, v := range o {
+			s += v
+		}
+		return s
+	}
+	for li := range params {
+		for j := 0; j < len(params[li]); j += 3 { // sample every third param
+			orig := params[li][j]
+			params[li][j] = orig + eps
+			lp := loss()
+			params[li][j] = orig - eps
+			lm := loss()
+			params[li][j] = orig
+			numeric := (lp - lm) / (2 * eps)
+			if math.Abs(numeric-grads[li][j]) > 1e-4*(1+math.Abs(numeric)) {
+				t.Fatalf("grad mismatch layer %d idx %d: %v vs %v", li, j, grads[li][j], numeric)
+			}
+		}
+	}
+}
+
+func TestBackwardInputGradient(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	net := MustMLP([]int{2, 4, 1}, Tanh, Linear, rng)
+	x := []float64{0.4, -0.6}
+	net.ZeroGrad()
+	net.Forward(x)
+	dX := net.Backward([]float64{1})
+	// Finite difference on the input.
+	const eps = 1e-6
+	for i := range x {
+		xp := append([]float64(nil), x...)
+		xp[i] += eps
+		lp := net.Forward(xp)[0]
+		xm := append([]float64(nil), x...)
+		xm[i] -= eps
+		lm := net.Forward(xm)[0]
+		numeric := (lp - lm) / (2 * eps)
+		if math.Abs(numeric-dX[i]) > 1e-5 {
+			t.Errorf("dX[%d] = %v, numeric %v", i, dX[i], numeric)
+		}
+	}
+}
+
+func TestAdamReducesLoss(t *testing.T) {
+	// Fit y = sin(x) on a few points; loss must fall by 10x.
+	rng := rand.New(rand.NewSource(5))
+	net := MustMLP([]int{1, 16, 16, 1}, Tanh, Linear, rng)
+	opt := MustAdam(0.01)
+	xs := make([][]float64, 32)
+	ys := make([]float64, 32)
+	for i := range xs {
+		x := -2 + 4*float64(i)/31
+		xs[i] = []float64{x}
+		ys[i] = math.Sin(x)
+	}
+	lossAt := func() float64 {
+		total := 0.0
+		for i := range xs {
+			d := net.Forward(xs[i])[0] - ys[i]
+			total += d * d
+		}
+		return total / float64(len(xs))
+	}
+	initial := lossAt()
+	for epoch := 0; epoch < 400; epoch++ {
+		net.ZeroGrad()
+		for i := range xs {
+			out := net.Forward(xs[i])
+			net.Backward([]float64{out[0] - ys[i]})
+		}
+		net.ScaleGrad(1 / float64(len(xs)))
+		opt.Step(net)
+	}
+	final := lossAt()
+	if final > initial/10 {
+		t.Errorf("loss %v -> %v: did not converge", initial, final)
+	}
+}
+
+func TestAdamValidation(t *testing.T) {
+	if _, err := NewAdam(0); err == nil {
+		t.Error("zero LR accepted")
+	}
+}
+
+func TestAdamClipNorm(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	net := MustMLP([]int{2, 2}, Linear, Linear, rng)
+	opt := MustAdam(0.1)
+	opt.ClipNorm = 0.001
+	before := append([]float64(nil), net.ParamSlices()[0]...)
+	net.ZeroGrad()
+	net.Forward([]float64{100, 100})
+	net.Backward([]float64{1000, 1000}) // huge gradients
+	opt.Step(net)
+	after := net.ParamSlices()[0]
+	for i := range before {
+		if math.Abs(after[i]-before[i]) > 0.2 {
+			t.Errorf("clipped update moved param %d by %v", i, after[i]-before[i])
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	a := MustMLP([]int{2, 3, 1}, ReLU, Linear, rng)
+	b := a.Clone()
+	outA := a.Forward([]float64{1, 2})[0]
+	outB := b.Forward([]float64{1, 2})[0]
+	if outA != outB {
+		t.Fatalf("clone differs: %v vs %v", outA, outB)
+	}
+	// Mutate the clone; the original must not move.
+	b.ParamSlices()[0][0] += 1
+	outA2 := a.Forward([]float64{1, 2})[0]
+	if outA2 != outA {
+		t.Error("mutating clone changed original")
+	}
+}
+
+func TestSoftUpdate(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	target := MustMLP([]int{2, 2}, Linear, Linear, rng)
+	src := target.Clone()
+	src.ParamSlices()[0][0] = 10
+	target.ParamSlices()[0][0] = 0
+	if err := target.SoftUpdate(src, 0.1); err != nil {
+		t.Fatal(err)
+	}
+	got := target.ParamSlices()[0][0]
+	if math.Abs(got-1.0) > 1e-12 {
+		t.Errorf("soft update = %v, want 1.0", got)
+	}
+	// tau=1 copies exactly.
+	if err := target.SoftUpdate(src, 1); err != nil {
+		t.Fatal(err)
+	}
+	if target.ParamSlices()[0][0] != 10 {
+		t.Error("tau=1 did not copy")
+	}
+	if err := target.SoftUpdate(src, 2); err == nil {
+		t.Error("tau > 1 accepted")
+	}
+	other := MustMLP([]int{3, 2}, Linear, Linear, rng)
+	if err := target.SoftUpdate(other, 0.5); err == nil {
+		t.Error("topology mismatch accepted")
+	}
+}
+
+func TestSerializationRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	a := MustMLP([]int{3, 7, 2}, ReLU, Tanh, rng)
+	data, err := a.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b Network
+	if err := b.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{0.1, -0.5, 0.9}
+	outA := append([]float64(nil), a.Forward(x)...)
+	outB := b.Forward(x)
+	for i := range outA {
+		if outA[i] != outB[i] {
+			t.Fatalf("restored network differs at %d: %v vs %v", i, outA[i], outB[i])
+		}
+	}
+	if err := b.UnmarshalBinary([]byte("junk")); err == nil {
+		t.Error("junk deserialized")
+	}
+}
+
+func TestCopyParamsFrom(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	a := MustMLP([]int{2, 3, 1}, ReLU, Linear, rng)
+	b := MustMLP([]int{2, 3, 1}, ReLU, Linear, rng)
+	if err := b.CopyParamsFrom(a); err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{0.5, 0.5}
+	if a.Forward(x)[0] != b.Forward(x)[0] {
+		t.Error("copy did not synchronize outputs")
+	}
+	c := MustMLP([]int{3, 1}, ReLU, Linear, rng)
+	if err := c.CopyParamsFrom(a); err == nil {
+		t.Error("mismatched copy accepted")
+	}
+}
+
+// Property: tanh-output networks always emit values in [-1, 1] — the
+// DDPG actor relies on this to produce valid actions.
+func TestTanhOutputBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	net := MustMLP([]int{4, 16, 3}, ReLU, Tanh, rng)
+	f := func(a, b, c, d float64) bool {
+		in := []float64{sanitize(a), sanitize(b), sanitize(c), sanitize(d)}
+		out := net.Forward(in)
+		for _, v := range out {
+			if math.IsNaN(v) || v < -1 || v > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func sanitize(x float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 0
+	}
+	return math.Mod(x, 100)
+}

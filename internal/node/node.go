@@ -1,0 +1,292 @@
+// Package node integrates the hardware substrates into one
+// controllable NFV host — the paper's extended ONVM controller
+// (§4.4): "We added functionalities in the ONVM controller that allow
+// us to control the CPU share, DVFS (CPU frequency) control, LLC
+// allocation, DMA Buffer size, and packet batch size."
+//
+// A Node owns a Processor (DVFS, C-states, governors), a CAT
+// controller (CLOS + capacity bitmasks), a cgroup-style share
+// scheduler, per-chain DMA buffers and a power meter, plus the ONVM
+// chains themselves. Apply maps a perfmodel.NFKnobs vector onto all
+// of them atomically, which is exactly what the GreenNFV actor does
+// when the policy emits an action.
+package node
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"greennfv/internal/hw/cache"
+	"greennfv/internal/hw/cpu"
+	"greennfv/internal/hw/dma"
+	"greennfv/internal/hw/power"
+	"greennfv/internal/onvm"
+	"greennfv/internal/perfmodel"
+)
+
+// Config assembles a node.
+type Config struct {
+	// Topology is the CPU layout (defaults to the testbed Xeon).
+	Topology cpu.Topology
+	// Cache is the LLC layout (defaults to the testbed part).
+	Cache cache.Config
+	// Power is the energy model (defaults to the calibrated model).
+	Power power.Model
+}
+
+// Default returns the paper-testbed node.
+func Default() Config {
+	return Config{
+		Topology: cpu.XeonE5v4(),
+		Cache:    cache.XeonE5v4(),
+		Power:    power.Default(),
+	}
+}
+
+// Node is one controllable NFV host.
+type Node struct {
+	mu sync.Mutex
+
+	proc   *cpu.Processor
+	cat    *cache.CAT
+	shares *cpu.ShareScheduler
+	meter  *power.Meter
+	model  power.Model
+	cache  cache.Config
+
+	chains map[string]*chainState
+	// nextCLOS allocates CLOS ids; CLOS 0 stays the firmware default.
+	nextCLOS int
+}
+
+type chainState struct {
+	chain *onvm.Chain
+	knobs []perfmodel.NFKnobs
+	dma   dma.Buffer
+	clos  []int // one CLOS per NF
+}
+
+// New builds a node.
+func New(cfg Config) (*Node, error) {
+	proc, err := cpu.New(cfg.Topology)
+	if err != nil {
+		return nil, err
+	}
+	cat, err := cache.NewCAT(cfg.Cache)
+	if err != nil {
+		return nil, err
+	}
+	if err := cfg.Power.Validate(); err != nil {
+		return nil, err
+	}
+	return &Node{
+		proc:     proc,
+		cat:      cat,
+		shares:   cpu.NewShareScheduler(),
+		meter:    power.NewMeter(),
+		model:    cfg.Power,
+		cache:    cfg.Cache,
+		chains:   make(map[string]*chainState),
+		nextCLOS: 1,
+	}, nil
+}
+
+// Processor exposes the CPU complex.
+func (n *Node) Processor() *cpu.Processor { return n.proc }
+
+// CAT exposes the cache controller.
+func (n *Node) CAT() *cache.CAT { return n.cat }
+
+// Meter exposes the energy meter.
+func (n *Node) Meter() *power.Meter { return n.meter }
+
+// Deploy registers a service chain on the node with platform-default
+// knobs, creating one cgroup share group and one CLOS per NF.
+func (n *Node) Deploy(chain *onvm.Chain) error {
+	if chain == nil {
+		return errors.New("node: nil chain")
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.chains[chain.Name()]; ok {
+		return fmt.Errorf("node: chain %q already deployed", chain.Name())
+	}
+	st := &chainState{
+		chain: chain,
+		knobs: perfmodel.DefaultKnobs(chain.Len()),
+		dma:   dma.Default(),
+	}
+	for i, nf := range chain.NFs() {
+		group := groupName(chain.Name(), nf.Name(), i)
+		if err := n.shares.SetGroup(group, 1024, 0); err != nil {
+			return err
+		}
+		closID := n.nextCLOS
+		n.nextCLOS++
+		if _, err := n.cat.DefineCLOSFraction(closID, st.knobs[i].LLCFraction, 0); err != nil {
+			return err
+		}
+		if err := n.cat.Assign(group, closID); err != nil {
+			return err
+		}
+		st.clos = append(st.clos, closID)
+	}
+	n.chains[chain.Name()] = st
+	return nil
+}
+
+func groupName(chain, nf string, idx int) string {
+	return fmt.Sprintf("%s/%d-%s", chain, idx, nf)
+}
+
+// Apply maps one knob vector (one entry per NF) onto the hardware:
+// cgroup share weights and quotas, userspace-governor DVFS, CAT CLOS
+// masks, DMA buffer sizing and chain batch sizes.
+func (n *Node) Apply(chainName string, knobs []perfmodel.NFKnobs) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	st, ok := n.chains[chainName]
+	if !ok {
+		return fmt.Errorf("node: unknown chain %q", chainName)
+	}
+	if len(knobs) != st.chain.Len() {
+		return fmt.Errorf("node: %d knob sets for %d NFs", len(knobs), st.chain.Len())
+	}
+	if n.proc.Governor() != cpu.GovernorUserspace {
+		return fmt.Errorf("node: DVFS control needs the userspace governor, have %v", n.proc.Governor())
+	}
+	// LLC fractions share one cache: rescale oversubscription the
+	// same way the performance model does.
+	var llcSum float64
+	for i := range knobs {
+		llcSum += knobs[i].LLCFraction
+	}
+	scale := 1.0
+	if llcSum > 1 {
+		scale = 1 / llcSum
+	}
+	startWay := 0
+	maxWays := n.cache.Ways - n.cache.DDIOWays
+	for i, nf := range st.chain.NFs() {
+		k := knobs[i]
+		group := groupName(chainName, nf.Name(), i)
+		// cgroups: weight proportional to requested share, quota at
+		// the share itself.
+		if err := n.shares.SetGroup(group, 1024*k.CPUShare, k.CPUShare); err != nil {
+			return err
+		}
+		if err := n.shares.SetDemand(group, k.CPUShare); err != nil {
+			return err
+		}
+		// DVFS: pin the NF's nominal core to the requested step.
+		core := i % n.proc.NumCores()
+		if err := n.proc.SetFreq(core, k.FreqGHz); err != nil {
+			return err
+		}
+		// CAT: contiguous masks packed side by side.
+		frac := k.LLCFraction * scale
+		granted, err := n.cat.DefineCLOSFraction(st.clos[i], frac, startWay)
+		if err != nil {
+			return err
+		}
+		startWay += int(granted / n.cache.WayBytes)
+		if startWay >= maxWays {
+			startWay = 0
+		}
+		// Batch: straight onto the NF.
+		if err := st.chain.NFs()[i].SetBatch(k.Batch); err != nil {
+			return err
+		}
+	}
+	// DMA: the head NF's buffer drives the NIC ring.
+	st.dma = st.dma.WithBytes(knobs[0].DMABytes)
+	st.knobs = append(st.knobs[:0], knobs...)
+	return nil
+}
+
+// Knobs reports the last-applied knob vector for a chain.
+func (n *Node) Knobs(chainName string) ([]perfmodel.NFKnobs, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	st, ok := n.chains[chainName]
+	if !ok {
+		return nil, fmt.Errorf("node: unknown chain %q", chainName)
+	}
+	out := make([]perfmodel.NFKnobs, len(st.knobs))
+	copy(out, st.knobs)
+	return out, nil
+}
+
+// DMABuffer reports a chain's current DMA buffer.
+func (n *Node) DMABuffer(chainName string) (dma.Buffer, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	st, ok := n.chains[chainName]
+	if !ok {
+		return dma.Buffer{}, fmt.Errorf("node: unknown chain %q", chainName)
+	}
+	return st.dma, nil
+}
+
+// EffectiveLLCBytes reports the CAT-granted cache capacity of one NF.
+func (n *Node) EffectiveLLCBytes(chainName string, nfIndex int) (int64, error) {
+	n.mu.Lock()
+	st, ok := n.chains[chainName]
+	if !ok {
+		n.mu.Unlock()
+		return 0, fmt.Errorf("node: unknown chain %q", chainName)
+	}
+	if nfIndex < 0 || nfIndex >= st.chain.Len() {
+		n.mu.Unlock()
+		return 0, fmt.Errorf("node: NF index %d out of range", nfIndex)
+	}
+	group := groupName(chainName, st.chain.NFs()[nfIndex].Name(), nfIndex)
+	n.mu.Unlock()
+	return n.cat.EffectiveBytes(group), nil
+}
+
+// AllocateCPU runs the share scheduler over the node's cores and
+// returns per-group core grants (observability for the controller).
+func (n *Node) AllocateCPU() map[string]float64 {
+	return n.shares.Allocate(float64(n.proc.NumCores()))
+}
+
+// SamplePower estimates instantaneous node power from reported core
+// utilizations and the mean active frequency, and integrates it into
+// the meter at simulation time t.
+func (n *Node) SamplePower(t float64) float64 {
+	u := n.proc.Utilization()
+	f := n.proc.MeanFreq()
+	p := n.model.Power(u, f)
+	n.meter.Sample(t, p)
+	return p
+}
+
+// Undeploy removes a chain, its share groups and CLOS entries.
+func (n *Node) Undeploy(chainName string) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	st, ok := n.chains[chainName]
+	if !ok {
+		return fmt.Errorf("node: unknown chain %q", chainName)
+	}
+	for i, nf := range st.chain.NFs() {
+		n.shares.RemoveGroup(groupName(chainName, nf.Name(), i))
+		// Ignore CLOS-removal errors for CLOS 0 fallbacks.
+		_ = n.cat.RemoveCLOS(st.clos[i])
+	}
+	delete(n.chains, chainName)
+	return nil
+}
+
+// Chains reports deployed chain names.
+func (n *Node) Chains() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]string, 0, len(n.chains))
+	for name := range n.chains {
+		out = append(out, name)
+	}
+	return out
+}

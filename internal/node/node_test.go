@@ -1,0 +1,203 @@
+package node
+
+import (
+	"testing"
+
+	"greennfv/internal/hw/cpu"
+	"greennfv/internal/onvm"
+	"greennfv/internal/perfmodel"
+)
+
+func testChain(t *testing.T, name string) *onvm.Chain {
+	t.Helper()
+	c, err := onvm.NewChain(name, onvm.DefaultChainConfig(),
+		onvm.NewFirewall(nil, true), onvm.NewNAT([4]byte{1, 2, 3, 4}), onvm.NewMonitor())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func testNode(t *testing.T) *Node {
+	t.Helper()
+	n, err := New(Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestDeployAndApply(t *testing.T) {
+	n := testNode(t)
+	chain := testChain(t, "c1")
+	if err := n.Deploy(chain); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Deploy(chain); err == nil {
+		t.Error("double deploy accepted")
+	}
+	if err := n.Deploy(nil); err == nil {
+		t.Error("nil chain accepted")
+	}
+
+	knobs := []perfmodel.NFKnobs{
+		{CPUShare: 2, FreqGHz: 1.7, LLCFraction: 0.4, DMABytes: 4 << 20, Batch: 64},
+		{CPUShare: 1, FreqGHz: 1.5, LLCFraction: 0.3, DMABytes: 2 << 20, Batch: 32},
+		{CPUShare: 0.5, FreqGHz: 1.3, LLCFraction: 0.2, DMABytes: 2 << 20, Batch: 16},
+	}
+	if err := n.Apply("c1", knobs); err != nil {
+		t.Fatal(err)
+	}
+
+	// DVFS landed on the ladder.
+	f0, _ := n.Processor().Freq(0)
+	f1, _ := n.Processor().Freq(1)
+	if f0 != 1.7 || f1 != 1.5 {
+		t.Errorf("core freqs %v/%v, want 1.7/1.5", f0, f1)
+	}
+	// Batches landed on the NFs.
+	for i, want := range []int{64, 32, 16} {
+		if got := chain.NFs()[i].Batch(); got != want {
+			t.Errorf("NF %d batch = %d, want %d", i, got, want)
+		}
+	}
+	// DMA buffer resized.
+	buf, err := n.DMABuffer("c1")
+	if err != nil || buf.Bytes != 4<<20 {
+		t.Errorf("dma = %d (%v), want 4MiB", buf.Bytes, err)
+	}
+	// CAT granted real capacity.
+	for i := range knobs {
+		got, err := n.EffectiveLLCBytes("c1", i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got <= 0 {
+			t.Errorf("NF %d effective LLC = %d", i, got)
+		}
+	}
+	// Knobs are queryable.
+	back, err := n.Knobs("c1")
+	if err != nil || len(back) != 3 || back[0].Batch != 64 {
+		t.Errorf("knobs round trip: %v (%v)", back, err)
+	}
+	// CPU allocation grants within capacity.
+	grants := n.AllocateCPU()
+	var total float64
+	for _, g := range grants {
+		total += g
+	}
+	if total > float64(n.Processor().NumCores())+1e-9 {
+		t.Errorf("grants %v exceed cores", total)
+	}
+}
+
+func TestApplyValidation(t *testing.T) {
+	n := testNode(t)
+	chain := testChain(t, "c1")
+	if err := n.Deploy(chain); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Apply("ghost", perfmodel.DefaultKnobs(3)); err == nil {
+		t.Error("unknown chain accepted")
+	}
+	if err := n.Apply("c1", perfmodel.DefaultKnobs(1)); err == nil {
+		t.Error("knob count mismatch accepted")
+	}
+	// DVFS control requires the userspace governor.
+	n.Processor().SetGovernor(cpu.GovernorPerformance)
+	if err := n.Apply("c1", perfmodel.DefaultKnobs(3)); err == nil {
+		t.Error("apply allowed under performance governor")
+	}
+}
+
+func TestLLCOversubscriptionRescales(t *testing.T) {
+	n := testNode(t)
+	chain := testChain(t, "c1")
+	if err := n.Deploy(chain); err != nil {
+		t.Fatal(err)
+	}
+	over := []perfmodel.NFKnobs{
+		{CPUShare: 1, FreqGHz: 2.1, LLCFraction: 0.9, DMABytes: 2 << 20, Batch: 32},
+		{CPUShare: 1, FreqGHz: 2.1, LLCFraction: 0.9, DMABytes: 2 << 20, Batch: 32},
+		{CPUShare: 1, FreqGHz: 2.1, LLCFraction: 0.9, DMABytes: 2 << 20, Batch: 32},
+	}
+	if err := n.Apply("c1", over); err != nil {
+		t.Fatal(err)
+	}
+	// Each NF should hold about a third of the 18 non-DDIO MiB.
+	for i := 0; i < 3; i++ {
+		got, err := n.EffectiveLLCBytes("c1", i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got < 4<<20 || got > 8<<20 {
+			t.Errorf("NF %d effective LLC = %d MiB, want ~6", i, got>>20)
+		}
+	}
+}
+
+func TestSamplePowerIntegrates(t *testing.T) {
+	n := testNode(t)
+	for i := 0; i < 8; i++ {
+		_ = n.Processor().ReportUtilization(i, 0.5)
+	}
+	p0 := n.SamplePower(0)
+	p1 := n.SamplePower(10)
+	if p0 <= 0 || p1 <= 0 {
+		t.Fatalf("powers %v/%v", p0, p1)
+	}
+	if n.Meter().Joules() <= 0 {
+		t.Error("meter did not integrate")
+	}
+}
+
+func TestUndeploy(t *testing.T) {
+	n := testNode(t)
+	chain := testChain(t, "c1")
+	if err := n.Deploy(chain); err != nil {
+		t.Fatal(err)
+	}
+	if len(n.Chains()) != 1 {
+		t.Fatal("chain not listed")
+	}
+	if err := n.Undeploy("c1"); err != nil {
+		t.Fatal(err)
+	}
+	if len(n.Chains()) != 0 {
+		t.Error("chain still listed")
+	}
+	if err := n.Undeploy("c1"); err == nil {
+		t.Error("double undeploy accepted")
+	}
+	// Redeploy works after undeploy.
+	if err := n.Deploy(testChain(t, "c1")); err != nil {
+		t.Errorf("redeploy failed: %v", err)
+	}
+}
+
+func TestMultipleChains(t *testing.T) {
+	n := testNode(t)
+	if err := n.Deploy(testChain(t, "a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Deploy(testChain(t, "b")); err != nil {
+		t.Fatal(err)
+	}
+	ka := perfmodel.DefaultKnobs(3)
+	for i := range ka {
+		ka[i].LLCFraction = 0.15
+	}
+	if err := n.Apply("a", ka); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Apply("b", ka); err != nil {
+		t.Fatal(err)
+	}
+	// Both chains hold LLC capacity simultaneously.
+	ea, _ := n.EffectiveLLCBytes("a", 0)
+	eb, _ := n.EffectiveLLCBytes("b", 0)
+	if ea <= 0 || eb <= 0 {
+		t.Errorf("effective LLC a=%d b=%d", ea, eb)
+	}
+}

@@ -1,0 +1,230 @@
+// Package onvm is the packet-processing substrate GreenNFV runs on,
+// a software reproduction of the OpenNetVM platform the paper builds
+// upon: fixed-size packet buffers (mbufs) drawn from a bounded
+// mempool, lock-free circular queues between pipeline stages, network
+// functions with an RX and a TX ring each, a manager that wires
+// service chains and moves packets with a mix of polling and
+// callback-style wakeups, and a library of realistic NFs (firewall,
+// NAT, router, IDS, crypto, …).
+package onvm
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+)
+
+// ErrRingSize is returned for ring capacities that are not powers of
+// two (a DPDK rte_ring requirement this model keeps: the index mask
+// trick needs it).
+var ErrRingSize = errors.New("onvm: ring capacity must be a power of two >= 2")
+
+// Ring is a bounded single-producer/single-consumer lock-free queue
+// of *Mbuf, the equivalent of the two circular queues OpenNetVM gives
+// each NF. Exactly one goroutine may enqueue and one may dequeue.
+type Ring struct {
+	mask uint64
+	buf  []*Mbuf
+	_    [64]byte // keep head and tail on separate cache lines
+	head atomic.Uint64
+	_    [64]byte
+	tail atomic.Uint64
+}
+
+// NewRing builds a ring with the given power-of-two capacity.
+func NewRing(capacity int) (*Ring, error) {
+	if capacity < 2 || capacity&(capacity-1) != 0 {
+		return nil, fmt.Errorf("%w: got %d", ErrRingSize, capacity)
+	}
+	return &Ring{mask: uint64(capacity - 1), buf: make([]*Mbuf, capacity)}, nil
+}
+
+// MustNewRing is NewRing that panics on error.
+func MustNewRing(capacity int) *Ring {
+	r, err := NewRing(capacity)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Cap reports the ring capacity.
+func (r *Ring) Cap() int { return len(r.buf) }
+
+// Len reports the number of queued packets (approximate under
+// concurrency, exact when quiescent).
+func (r *Ring) Len() int {
+	return int(r.tail.Load() - r.head.Load())
+}
+
+// Enqueue adds one packet; it reports false when the ring is full
+// (the caller drops the packet, exactly like rte_ring).
+func (r *Ring) Enqueue(m *Mbuf) bool {
+	tail := r.tail.Load()
+	if tail-r.head.Load() >= uint64(len(r.buf)) {
+		return false
+	}
+	r.buf[tail&r.mask] = m
+	r.tail.Store(tail + 1)
+	return true
+}
+
+// EnqueueBurst adds up to len(ms) packets and reports how many were
+// accepted; the remainder should be dropped or retried by the caller.
+func (r *Ring) EnqueueBurst(ms []*Mbuf) int {
+	tail := r.tail.Load()
+	free := uint64(len(r.buf)) - (tail - r.head.Load())
+	n := uint64(len(ms))
+	if n > free {
+		n = free
+	}
+	for i := uint64(0); i < n; i++ {
+		r.buf[(tail+i)&r.mask] = ms[i]
+	}
+	if n > 0 {
+		r.tail.Store(tail + n)
+	}
+	return int(n)
+}
+
+// Dequeue removes one packet, or returns nil when the ring is empty.
+func (r *Ring) Dequeue() *Mbuf {
+	head := r.head.Load()
+	if head == r.tail.Load() {
+		return nil
+	}
+	m := r.buf[head&r.mask]
+	r.buf[head&r.mask] = nil
+	r.head.Store(head + 1)
+	return m
+}
+
+// DequeueBurst removes up to len(dst) packets into dst and reports
+// the count — the batched read the paper's batch-size knob controls.
+func (r *Ring) DequeueBurst(dst []*Mbuf) int {
+	head := r.head.Load()
+	avail := r.tail.Load() - head
+	n := uint64(len(dst))
+	if n > avail {
+		n = avail
+	}
+	for i := uint64(0); i < n; i++ {
+		idx := (head + i) & r.mask
+		dst[i] = r.buf[idx]
+		r.buf[idx] = nil
+	}
+	if n > 0 {
+		r.head.Store(head + n)
+	}
+	return int(n)
+}
+
+// MPMCRing is a bounded multi-producer/multi-consumer lock-free queue
+// (Vyukov's algorithm), used where several NF workers feed one TX
+// thread. Each slot carries a sequence number that encodes whether it
+// is ready for a producer or a consumer.
+type MPMCRing struct {
+	mask  uint64
+	slots []mpmcSlot
+	_     [64]byte
+	head  atomic.Uint64 // consumer position
+	_     [64]byte
+	tail  atomic.Uint64 // producer position
+}
+
+type mpmcSlot struct {
+	seq atomic.Uint64
+	m   *Mbuf
+}
+
+// NewMPMCRing builds an MPMC ring with power-of-two capacity.
+func NewMPMCRing(capacity int) (*MPMCRing, error) {
+	if capacity < 2 || capacity&(capacity-1) != 0 {
+		return nil, fmt.Errorf("%w: got %d", ErrRingSize, capacity)
+	}
+	r := &MPMCRing{mask: uint64(capacity - 1), slots: make([]mpmcSlot, capacity)}
+	for i := range r.slots {
+		r.slots[i].seq.Store(uint64(i))
+	}
+	return r, nil
+}
+
+// MustNewMPMCRing is NewMPMCRing that panics on error.
+func MustNewMPMCRing(capacity int) *MPMCRing {
+	r, err := NewMPMCRing(capacity)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Cap reports the ring capacity.
+func (r *MPMCRing) Cap() int { return len(r.slots) }
+
+// Len reports the approximate number of queued packets.
+func (r *MPMCRing) Len() int {
+	n := int(r.tail.Load()) - int(r.head.Load())
+	if n < 0 {
+		return 0
+	}
+	return n
+}
+
+// Enqueue adds one packet from any goroutine; false means full.
+func (r *MPMCRing) Enqueue(m *Mbuf) bool {
+	pos := r.tail.Load()
+	for {
+		slot := &r.slots[pos&r.mask]
+		seq := slot.seq.Load()
+		switch {
+		case seq == pos: // slot free for this position
+			if r.tail.CompareAndSwap(pos, pos+1) {
+				slot.m = m
+				slot.seq.Store(pos + 1) // publish to consumers
+				return true
+			}
+			pos = r.tail.Load()
+		case seq < pos: // slot still holds an unconsumed older element
+			return false
+		default: // another producer claimed it; reload
+			pos = r.tail.Load()
+		}
+	}
+}
+
+// Dequeue removes one packet from any goroutine; nil means empty.
+func (r *MPMCRing) Dequeue() *Mbuf {
+	pos := r.head.Load()
+	for {
+		slot := &r.slots[pos&r.mask]
+		seq := slot.seq.Load()
+		switch {
+		case seq == pos+1: // slot published for this position
+			if r.head.CompareAndSwap(pos, pos+1) {
+				m := slot.m
+				slot.m = nil
+				slot.seq.Store(pos + uint64(len(r.slots))) // recycle for producers
+				return m
+			}
+			pos = r.head.Load()
+		case seq <= pos: // not yet published
+			return nil
+		default:
+			pos = r.head.Load()
+		}
+	}
+}
+
+// DequeueBurst removes up to len(dst) packets and reports the count.
+func (r *MPMCRing) DequeueBurst(dst []*Mbuf) int {
+	n := 0
+	for n < len(dst) {
+		m := r.Dequeue()
+		if m == nil {
+			break
+		}
+		dst[n] = m
+		n++
+	}
+	return n
+}

@@ -1,0 +1,273 @@
+// Package placement implements energy-aware service-chain placement,
+// the consolidation step the paper describes in §2: "as service
+// chains process the same packets, the placement can efficiently
+// group these chains in the same core and processor to achieve higher
+// performance and lower energy consumption", and GreenNFV
+// "consolidates the VNFs based on the flow path and minimizes the
+// cache eviction".
+//
+// The optimizer packs chains onto the fewest nodes that satisfy CPU
+// and LLC capacity (fewer active nodes dominate the energy bill
+// because of idle power), then reduces cross-node flow traffic with
+// pairwise-swap local search — chains sharing a flow path prefer the
+// same node so packets stay cache-resident.
+package placement
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// ChainDemand is one service chain's resource footprint.
+type ChainDemand struct {
+	Name string
+	// Cores is the CPU demand in cores.
+	Cores float64
+	// LLCBytes is the cache working set.
+	LLCBytes int64
+	// FlowPPS is the chain's offered packet rate.
+	FlowPPS float64
+}
+
+// NodeCapacity bounds one host.
+type NodeCapacity struct {
+	Cores    float64
+	LLCBytes int64
+}
+
+// Affinity is the packet rate two chains exchange (a flow path that
+// traverses both): keeping them co-located keeps those packets in
+// the shared LLC.
+type Affinity struct {
+	A, B string
+	PPS  float64
+}
+
+// Problem is a placement instance.
+type Problem struct {
+	Chains     []ChainDemand
+	Node       NodeCapacity
+	MaxNodes   int
+	Affinities []Affinity
+}
+
+// Validate reports whether the instance is well formed.
+func (p *Problem) Validate() error {
+	if len(p.Chains) == 0 {
+		return errors.New("placement: no chains")
+	}
+	if p.Node.Cores <= 0 || p.Node.LLCBytes <= 0 {
+		return errors.New("placement: node capacity must be positive")
+	}
+	if p.MaxNodes <= 0 {
+		return errors.New("placement: need at least one node")
+	}
+	seen := map[string]bool{}
+	for i, c := range p.Chains {
+		if c.Name == "" {
+			return fmt.Errorf("placement: chain %d unnamed", i)
+		}
+		if seen[c.Name] {
+			return fmt.Errorf("placement: duplicate chain %q", c.Name)
+		}
+		seen[c.Name] = true
+		if c.Cores <= 0 || c.Cores > p.Node.Cores {
+			return fmt.Errorf("placement: chain %q needs %v cores (node has %v)", c.Name, c.Cores, p.Node.Cores)
+		}
+		if c.LLCBytes <= 0 || c.LLCBytes > p.Node.LLCBytes {
+			return fmt.Errorf("placement: chain %q needs %d LLC bytes (node has %d)", c.Name, c.LLCBytes, p.Node.LLCBytes)
+		}
+	}
+	for _, a := range p.Affinities {
+		if !seen[a.A] || !seen[a.B] {
+			return fmt.Errorf("placement: affinity references unknown chain (%q, %q)", a.A, a.B)
+		}
+		if a.PPS < 0 {
+			return errors.New("placement: negative affinity")
+		}
+	}
+	return nil
+}
+
+// Assignment maps chain name to node index.
+type Assignment map[string]int
+
+// Solution is a placement outcome.
+type Solution struct {
+	Assignment Assignment
+	// NodesUsed is the number of distinct nodes hosting chains.
+	NodesUsed int
+	// CrossPPS is the affinity traffic that crosses node boundaries
+	// (the cache-locality loss the consolidation minimizes).
+	CrossPPS float64
+}
+
+// Solve packs the chains: First-Fit-Decreasing by core demand for the
+// node count, then pairwise-move local search to reduce cross-node
+// affinity traffic without increasing the node count.
+func Solve(p Problem) (Solution, error) {
+	if err := p.Validate(); err != nil {
+		return Solution{}, err
+	}
+	// FFD by cores (ties by LLC).
+	order := make([]int, len(p.Chains))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ca, cb := p.Chains[order[a]], p.Chains[order[b]]
+		if ca.Cores != cb.Cores {
+			return ca.Cores > cb.Cores
+		}
+		return ca.LLCBytes > cb.LLCBytes
+	})
+
+	type nodeState struct {
+		cores float64
+		llc   int64
+	}
+	nodes := make([]nodeState, p.MaxNodes)
+	assign := Assignment{}
+	for _, idx := range order {
+		c := p.Chains[idx]
+		placed := false
+		for n := 0; n < p.MaxNodes; n++ {
+			if nodes[n].cores+c.Cores <= p.Node.Cores &&
+				nodes[n].llc+c.LLCBytes <= p.Node.LLCBytes {
+				nodes[n].cores += c.Cores
+				nodes[n].llc += c.LLCBytes
+				assign[c.Name] = n
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			return Solution{}, fmt.Errorf("placement: chain %q does not fit on %d nodes", c.Name, p.MaxNodes)
+		}
+	}
+
+	demand := map[string]ChainDemand{}
+	for _, c := range p.Chains {
+		demand[c.Name] = c
+	}
+	fits := func(name string, n int) bool {
+		c := demand[name]
+		return nodes[n].cores+c.Cores <= p.Node.Cores && nodes[n].llc+c.LLCBytes <= p.Node.LLCBytes
+	}
+	move := func(name string, from, to int) {
+		c := demand[name]
+		nodes[from].cores -= c.Cores
+		nodes[from].llc -= c.LLCBytes
+		nodes[to].cores += c.Cores
+		nodes[to].llc += c.LLCBytes
+		assign[name] = to
+	}
+
+	// Local search: repair split affinities by moving one endpoint
+	// next to the other when capacity allows, or by swapping an
+	// endpoint with a third chain when both nodes are full. Accept
+	// only strict cross-traffic reductions, so the search terminates.
+	improved := true
+	for iter := 0; improved && iter < 4*len(p.Chains); iter++ {
+		improved = false
+		for _, a := range p.Affinities {
+			na, nb := assign[a.A], assign[a.B]
+			if na == nb || a.PPS == 0 {
+				continue
+			}
+			before := crossPPS(p, assign)
+			done := false
+			// Single moves.
+			for _, cand := range []struct {
+				name     string
+				from, to int
+			}{{a.A, na, nb}, {a.B, nb, na}} {
+				if !fits(cand.name, cand.to) {
+					continue
+				}
+				move(cand.name, cand.from, cand.to)
+				if after := crossPPS(p, assign); after < before {
+					improved, done = true, true
+					break
+				}
+				move(cand.name, cand.to, cand.from) // revert
+			}
+			if done {
+				continue
+			}
+			// Swaps: exchange B with a third chain X on A's node.
+			b := demand[a.B]
+			for _, x := range p.Chains {
+				if assign[x.Name] != na || x.Name == a.A {
+					continue
+				}
+				// Feasibility after the exchange, checked
+				// arithmetically before touching state.
+				naCoresAfter := nodes[na].cores - x.Cores + b.Cores
+				naLLCAfter := nodes[na].llc - x.LLCBytes + b.LLCBytes
+				nbCoresAfter := nodes[nb].cores - b.Cores + x.Cores
+				nbLLCAfter := nodes[nb].llc - b.LLCBytes + x.LLCBytes
+				if naCoresAfter > p.Node.Cores || naLLCAfter > p.Node.LLCBytes ||
+					nbCoresAfter > p.Node.Cores || nbLLCAfter > p.Node.LLCBytes {
+					continue
+				}
+				move(x.Name, na, nb)
+				move(a.B, nb, na)
+				if after := crossPPS(p, assign); after < before {
+					improved = true
+					break
+				}
+				move(a.B, na, nb)
+				move(x.Name, nb, na)
+			}
+		}
+	}
+
+	used := map[int]bool{}
+	for _, n := range assign {
+		used[n] = true
+	}
+	return Solution{
+		Assignment: assign,
+		NodesUsed:  len(used),
+		CrossPPS:   crossPPS(p, assign),
+	}, nil
+}
+
+// crossPPS totals affinity traffic whose endpoints sit on different
+// nodes.
+func crossPPS(p Problem, a Assignment) float64 {
+	var sum float64
+	for _, af := range p.Affinities {
+		if a[af.A] != a[af.B] {
+			sum += af.PPS
+		}
+	}
+	return sum
+}
+
+// LowerBoundNodes reports a simple capacity lower bound on the node
+// count (max of the core-sum and LLC-sum bounds).
+func LowerBoundNodes(p Problem) int {
+	var cores float64
+	var llc int64
+	for _, c := range p.Chains {
+		cores += c.Cores
+		llc += c.LLCBytes
+	}
+	byCores := int(ceilDiv(cores, p.Node.Cores))
+	byLLC := int((llc + p.Node.LLCBytes - 1) / p.Node.LLCBytes)
+	if byCores > byLLC {
+		return byCores
+	}
+	return byLLC
+}
+
+func ceilDiv(a, b float64) float64 {
+	n := a / b
+	if n != float64(int(n)) {
+		return float64(int(n) + 1)
+	}
+	return n
+}

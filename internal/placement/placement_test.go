@@ -1,0 +1,172 @@
+package placement
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func node16() NodeCapacity {
+	return NodeCapacity{Cores: 16, LLCBytes: 18 << 20}
+}
+
+func TestValidation(t *testing.T) {
+	bad := []Problem{
+		{Node: node16(), MaxNodes: 2},
+		{Chains: []ChainDemand{{Name: "a", Cores: 1, LLCBytes: 1 << 20}}, MaxNodes: 1},
+		{Chains: []ChainDemand{{Name: "a", Cores: 1, LLCBytes: 1 << 20}}, Node: node16(), MaxNodes: 0},
+		{Chains: []ChainDemand{{Name: "", Cores: 1, LLCBytes: 1 << 20}}, Node: node16(), MaxNodes: 1},
+		{Chains: []ChainDemand{
+			{Name: "a", Cores: 1, LLCBytes: 1 << 20},
+			{Name: "a", Cores: 1, LLCBytes: 1 << 20},
+		}, Node: node16(), MaxNodes: 1},
+		{Chains: []ChainDemand{{Name: "a", Cores: 20, LLCBytes: 1 << 20}}, Node: node16(), MaxNodes: 1},
+		{Chains: []ChainDemand{{Name: "a", Cores: 1, LLCBytes: 1 << 20}},
+			Node: node16(), MaxNodes: 1,
+			Affinities: []Affinity{{A: "a", B: "ghost", PPS: 1}}},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestConsolidatesOntoFewestNodes(t *testing.T) {
+	// Six 4-core chains fit on two 16-core nodes (LLC allows 6x3MB
+	// per node).
+	p := Problem{
+		Node:     node16(),
+		MaxNodes: 6,
+	}
+	for _, name := range []string{"a", "b", "c", "d", "e", "f"} {
+		p.Chains = append(p.Chains, ChainDemand{Name: name, Cores: 4, LLCBytes: 3 << 20})
+	}
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.NodesUsed != 2 {
+		t.Errorf("nodes used = %d, want 2 (consolidation)", sol.NodesUsed)
+	}
+	if lb := LowerBoundNodes(p); sol.NodesUsed < lb {
+		t.Errorf("solution beats lower bound %d", lb)
+	}
+}
+
+func TestRespectsCapacity(t *testing.T) {
+	p := Problem{Node: node16(), MaxNodes: 3}
+	// Each chain needs 10 cores: one per node.
+	for _, name := range []string{"a", "b", "c"} {
+		p.Chains = append(p.Chains, ChainDemand{Name: name, Cores: 10, LLCBytes: 2 << 20})
+	}
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.NodesUsed != 3 {
+		t.Errorf("nodes used = %d, want 3", sol.NodesUsed)
+	}
+	// Infeasible: 4 such chains on 3 nodes.
+	p.Chains = append(p.Chains, ChainDemand{Name: "d", Cores: 10, LLCBytes: 2 << 20})
+	if _, err := Solve(p); err == nil {
+		t.Error("infeasible instance solved")
+	}
+}
+
+func TestAffinityPullsChainsTogether(t *testing.T) {
+	// Four 6-core chains: pairs (a,b) and (c,d) exchange heavy
+	// traffic. Two nodes hold two chains each; the affinity-aware
+	// search must co-locate the pairs.
+	p := Problem{
+		Node:     node16(),
+		MaxNodes: 2,
+		Chains: []ChainDemand{
+			{Name: "a", Cores: 6, LLCBytes: 4 << 20, FlowPPS: 1e6},
+			{Name: "c", Cores: 6, LLCBytes: 4 << 20, FlowPPS: 1e6},
+			{Name: "b", Cores: 6, LLCBytes: 4 << 20, FlowPPS: 1e6},
+			{Name: "d", Cores: 6, LLCBytes: 4 << 20, FlowPPS: 1e6},
+		},
+		Affinities: []Affinity{
+			{A: "a", B: "b", PPS: 5e6},
+			{A: "c", B: "d", PPS: 5e6},
+		},
+	}
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.CrossPPS != 0 {
+		t.Errorf("cross traffic = %v, want 0 (pairs co-located): %v", sol.CrossPPS, sol.Assignment)
+	}
+	if sol.Assignment["a"] != sol.Assignment["b"] || sol.Assignment["c"] != sol.Assignment["d"] {
+		t.Errorf("pairs split: %v", sol.Assignment)
+	}
+}
+
+// Property: any feasible random instance solves with per-node sums
+// within capacity and no chain unassigned.
+func TestRandomInstancesFeasibleAndValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(10)
+		p := Problem{Node: node16(), MaxNodes: n} // generous node count
+		for i := 0; i < n; i++ {
+			p.Chains = append(p.Chains, ChainDemand{
+				Name:     string(rune('a' + i)),
+				Cores:    0.5 + rng.Float64()*8,
+				LLCBytes: int64(1+rng.Intn(9)) << 20,
+				FlowPPS:  rng.Float64() * 1e6,
+			})
+		}
+		for i := 0; i+1 < n; i += 2 {
+			p.Affinities = append(p.Affinities, Affinity{
+				A: p.Chains[i].Name, B: p.Chains[i+1].Name, PPS: rng.Float64() * 1e6,
+			})
+		}
+		sol, err := Solve(p)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		cores := map[int]float64{}
+		llc := map[int]int64{}
+		for _, c := range p.Chains {
+			nidx, ok := sol.Assignment[c.Name]
+			if !ok {
+				t.Fatalf("trial %d: chain %q unassigned", trial, c.Name)
+			}
+			cores[nidx] += c.Cores
+			llc[nidx] += c.LLCBytes
+		}
+		for nidx, sum := range cores {
+			if sum > p.Node.Cores+1e-9 {
+				t.Fatalf("trial %d: node %d cores %v over capacity", trial, nidx, sum)
+			}
+			if llc[nidx] > p.Node.LLCBytes {
+				t.Fatalf("trial %d: node %d LLC over capacity", trial, nidx)
+			}
+		}
+		if sol.NodesUsed < LowerBoundNodes(p) {
+			t.Fatalf("trial %d: nodes %d below lower bound", trial, sol.NodesUsed)
+		}
+	}
+}
+
+func TestLowerBound(t *testing.T) {
+	p := Problem{Node: node16(), MaxNodes: 8}
+	p.Chains = []ChainDemand{
+		{Name: "a", Cores: 10, LLCBytes: 1 << 20},
+		{Name: "b", Cores: 10, LLCBytes: 1 << 20},
+		{Name: "c", Cores: 10, LLCBytes: 1 << 20},
+	}
+	if lb := LowerBoundNodes(p); lb != 2 {
+		t.Errorf("core lower bound = %d, want 2", lb)
+	}
+	// LLC-driven bound.
+	p.Chains = []ChainDemand{
+		{Name: "a", Cores: 1, LLCBytes: 17 << 20},
+		{Name: "b", Cores: 1, LLCBytes: 17 << 20},
+	}
+	if lb := LowerBoundNodes(p); lb != 2 {
+		t.Errorf("LLC lower bound = %d, want 2", lb)
+	}
+}

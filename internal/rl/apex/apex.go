@@ -1,0 +1,254 @@
+// Package apex implements the distributed learning architecture of
+// Horgan et al. ("Distributed Prioritized Experience Replay") that
+// GreenNFV layers on top of DDPG (paper §4.3.2, Algorithm 3):
+// NF-controller actors generate experience under the current policy,
+// attach locally computed TD priorities, and push batches to a
+// central learner; the learner samples the shared prioritized replay,
+// updates the networks, and periodically broadcasts fresh parameters
+// back to the actors.
+//
+// Two transports are provided: in-process (actors and learner in one
+// process, the configuration the experiment harness uses) and
+// net/rpc over TCP (the multi-node deployment of the paper's
+// evaluation; see Server/Client).
+package apex
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"greennfv/internal/env"
+	"greennfv/internal/perfmodel"
+	"greennfv/internal/rl/ddpg"
+	"greennfv/internal/rl/replay"
+)
+
+// Experience is one transition plus its actor-side initial priority,
+// the unit pushed to the central replay.
+type Experience struct {
+	State     []float64
+	Action    []float64
+	Reward    float64
+	NextState []float64
+	Done      bool
+	Priority  float64
+}
+
+// LearnerAPI is the surface actors need from the central learner;
+// the in-process Learner and the RPC client both satisfy it.
+type LearnerAPI interface {
+	// PushExperience appends a batch to the central replay.
+	PushExperience(batch []Experience) error
+	// PullParams returns the current parameter version and the
+	// serialized actor network when newer than haveVersion
+	// (nil bytes otherwise).
+	PullParams(haveVersion int) (version int, actorBytes []byte, err error)
+}
+
+// Learner is the central learner process of Algorithm 3.
+type Learner struct {
+	mu      sync.Mutex
+	agent   *ddpg.Agent
+	version int
+	// cached broadcast of the current actor network.
+	paramCache []byte
+	pushes     int
+	received   int
+}
+
+// NewLearner wraps a DDPG agent (which owns the central prioritized
+// replay) as the learner.
+func NewLearner(agent *ddpg.Agent) (*Learner, error) {
+	if agent == nil {
+		return nil, errors.New("apex: nil agent")
+	}
+	if !agent.Config().Prioritized {
+		return nil, errors.New("apex: learner requires prioritized replay")
+	}
+	l := &Learner{agent: agent, version: 1}
+	if err := l.refreshParamCache(); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// Agent exposes the learner's agent (for evaluation after training).
+func (l *Learner) Agent() *ddpg.Agent { return l.agent }
+
+// PushExperience implements LearnerAPI.
+func (l *Learner) PushExperience(batch []Experience) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for i := range batch {
+		e := &batch[i]
+		l.agent.ObserveWithPriority(replay.Transition{
+			State:     e.State,
+			Action:    e.Action,
+			Reward:    e.Reward,
+			NextState: e.NextState,
+			Done:      e.Done,
+		}, e.Priority)
+	}
+	l.pushes++
+	l.received += len(batch)
+	return nil
+}
+
+// PullParams implements LearnerAPI.
+func (l *Learner) PullParams(haveVersion int) (int, []byte, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if haveVersion >= l.version {
+		return l.version, nil, nil
+	}
+	return l.version, l.paramCache, nil
+}
+
+// LearnStep runs one DDPG update and bumps the parameter version
+// every versionEvery steps. It returns the critic loss.
+func (l *Learner) LearnStep(versionEvery int) float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	loss := l.agent.Learn()
+	if versionEvery <= 0 {
+		versionEvery = 1
+	}
+	if l.agent.LearnSteps()%versionEvery == 0 {
+		l.version++
+		if err := l.refreshParamCache(); err != nil {
+			// Serialization of a healthy network cannot fail; treat
+			// it as a programming error.
+			panic(fmt.Sprintf("apex: param cache: %v", err))
+		}
+	}
+	return loss
+}
+
+// refreshParamCache re-serializes the actor. Caller holds mu (or is
+// the constructor).
+func (l *Learner) refreshParamCache() error {
+	data, err := l.agent.ActorBytes()
+	if err != nil {
+		return err
+	}
+	l.paramCache = data
+	return nil
+}
+
+// Stats reports how much experience the learner has received.
+func (l *Learner) Stats() (pushes, transitions int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.pushes, l.received
+}
+
+// Actor is one NF controller (Algorithm 3's NF_CONTROLLER): it acts
+// in its own environment with its own exploration intensity, buffers
+// experience locally, and exchanges data with the learner.
+type Actor struct {
+	ID    int
+	env   *env.Env
+	agent *ddpg.Agent // local network copy: acting + TD priorities only
+
+	state   []float64
+	local   []Experience
+	version int
+
+	// Steps between pushes and parameter pulls.
+	pushEvery, syncEvery int
+	steps                int
+}
+
+// ActorConfig builds one actor.
+type ActorConfig struct {
+	ID int
+	// Env is the actor's private environment instance.
+	Env *env.Env
+	// AgentConfig shapes the local network copy; exploration sigma
+	// is typically varied per actor (Ape-X's ε_i ladder).
+	AgentConfig ddpg.Config
+	// PushEvery is the local-buffer flush interval in steps
+	// (Algorithm 3 line 8 "periodically").
+	PushEvery int
+	// SyncEvery is the parameter-pull interval in steps
+	// (Algorithm 3 lines 2 and 9).
+	SyncEvery int
+}
+
+// NewActor builds an actor.
+func NewActor(cfg ActorConfig) (*Actor, error) {
+	if cfg.Env == nil {
+		return nil, errors.New("apex: actor needs an environment")
+	}
+	if cfg.PushEvery <= 0 || cfg.SyncEvery <= 0 {
+		return nil, errors.New("apex: PushEvery and SyncEvery must be positive")
+	}
+	agent, err := ddpg.New(cfg.AgentConfig)
+	if err != nil {
+		return nil, err
+	}
+	a := &Actor{
+		ID:        cfg.ID,
+		env:       cfg.Env,
+		agent:     agent,
+		pushEvery: cfg.PushEvery,
+		syncEvery: cfg.SyncEvery,
+	}
+	a.state = cfg.Env.Reset(cfg.AgentConfig.Seed)
+	return a, nil
+}
+
+// Env exposes the actor's environment (for snapshotting knobs).
+func (a *Actor) Env() *env.Env { return a.env }
+
+// Step runs one acting step against the learner: act, observe,
+// buffer, and periodically push/pull. It returns the step's reward
+// and measurement.
+func (a *Actor) Step(learner LearnerAPI) (float64, perfmodel.Result, error) {
+	action, err := a.agent.Act(a.state, true)
+	if err != nil {
+		return 0, perfmodel.Result{}, err
+	}
+	next, reward, info, err := a.env.Step(action)
+	if err != nil {
+		return 0, perfmodel.Result{}, err
+	}
+	tr := replay.Transition{
+		State:     append([]float64(nil), a.state...),
+		Action:    action,
+		Reward:    reward,
+		NextState: append([]float64(nil), next...),
+	}
+	prio := math.Abs(a.agent.TDError(tr))
+	a.local = append(a.local, Experience{
+		State: tr.State, Action: tr.Action, Reward: tr.Reward,
+		NextState: tr.NextState, Priority: prio,
+	})
+	a.state = next
+	a.steps++
+
+	if a.steps%a.pushEvery == 0 && len(a.local) > 0 {
+		if err := learner.PushExperience(a.local); err != nil {
+			return reward, info, fmt.Errorf("apex: push: %w", err)
+		}
+		a.local = nil
+	}
+	if a.steps%a.syncEvery == 0 {
+		v, data, err := learner.PullParams(a.version)
+		if err != nil {
+			return reward, info, fmt.Errorf("apex: pull: %w", err)
+		}
+		if data != nil {
+			if err := a.agent.LoadActorBytes(data); err != nil {
+				return reward, info, fmt.Errorf("apex: load params: %w", err)
+			}
+		}
+		a.version = v
+	}
+	return reward, info, nil
+}
+
+// Steps reports how many environment steps the actor has taken.
+func (a *Actor) Steps() int { return a.steps }

@@ -1,0 +1,157 @@
+package apex
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"net/rpc"
+	"sync"
+)
+
+// The RPC transport lets actors run in separate processes or on
+// separate machines, matching the paper's six-node deployment where
+// NF controllers on the chain-hosting servers feed one central
+// learner. Payloads are gob-encoded by net/rpc.
+
+// PushArgs is the RPC request for experience submission.
+type PushArgs struct {
+	Batch []Experience
+}
+
+// PushReply acknowledges a push.
+type PushReply struct {
+	Accepted int
+}
+
+// PullArgs requests parameters newer than HaveVersion.
+type PullArgs struct {
+	HaveVersion int
+}
+
+// PullReply carries the current version and, when newer, the
+// serialized actor network.
+type PullReply struct {
+	Version    int
+	ActorBytes []byte
+}
+
+// LearnerService is the net/rpc wrapper around a Learner.
+type LearnerService struct {
+	learner *Learner
+}
+
+// Push is the RPC method actors call to submit experience.
+func (s *LearnerService) Push(args *PushArgs, reply *PushReply) error {
+	if err := s.learner.PushExperience(args.Batch); err != nil {
+		return err
+	}
+	reply.Accepted = len(args.Batch)
+	return nil
+}
+
+// Pull is the RPC method actors call to refresh parameters.
+func (s *LearnerService) Pull(args *PullArgs, reply *PullReply) error {
+	v, data, err := s.learner.PullParams(args.HaveVersion)
+	if err != nil {
+		return err
+	}
+	reply.Version = v
+	reply.ActorBytes = data
+	return nil
+}
+
+// Server hosts a Learner over TCP.
+type Server struct {
+	learner  *Learner
+	listener net.Listener
+	rpcSrv   *rpc.Server
+	wg       sync.WaitGroup
+	mu       sync.Mutex
+	closed   bool
+}
+
+// Serve starts an RPC server for the learner on addr (e.g.
+// "127.0.0.1:0" for an ephemeral port). It returns once listening;
+// connections are served in the background until Close.
+func Serve(learner *Learner, addr string) (*Server, error) {
+	if learner == nil {
+		return nil, errors.New("apex: nil learner")
+	}
+	srv := rpc.NewServer()
+	if err := srv.RegisterName("Learner", &LearnerService{learner: learner}); err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{learner: learner, listener: ln, rpcSrv: srv}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return // listener closed
+			}
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				srv.ServeConn(conn)
+			}()
+		}
+	}()
+	return s, nil
+}
+
+// Addr reports the listening address.
+func (s *Server) Addr() string { return s.listener.Addr().String() }
+
+// Close stops accepting connections and waits for in-flight handlers.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	err := s.listener.Close()
+	s.wg.Wait()
+	return err
+}
+
+// Client is a LearnerAPI backed by a TCP connection to a Server.
+type Client struct {
+	rc *rpc.Client
+}
+
+// Dial connects to a learner server.
+func Dial(addr string) (*Client, error) {
+	rc, err := rpc.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("apex: dial %s: %w", addr, err)
+	}
+	return &Client{rc: rc}, nil
+}
+
+// PushExperience implements LearnerAPI.
+func (c *Client) PushExperience(batch []Experience) error {
+	var reply PushReply
+	return c.rc.Call("Learner.Push", &PushArgs{Batch: batch}, &reply)
+}
+
+// PullParams implements LearnerAPI.
+func (c *Client) PullParams(haveVersion int) (int, []byte, error) {
+	var reply PullReply
+	if err := c.rc.Call("Learner.Pull", &PullArgs{HaveVersion: haveVersion}, &reply); err != nil {
+		return 0, nil, err
+	}
+	return reply.Version, reply.ActorBytes, nil
+}
+
+// Close releases the connection.
+func (c *Client) Close() error { return c.rc.Close() }
+
+var _ LearnerAPI = (*Client)(nil)
+var _ LearnerAPI = (*Learner)(nil)

@@ -1,0 +1,228 @@
+package apex
+
+import (
+	"errors"
+	"fmt"
+
+	"greennfv/internal/env"
+	"greennfv/internal/perfmodel"
+	"greennfv/internal/rl/ddpg"
+)
+
+// Snapshot is one point of a training-progress curve — the quantities
+// the paper plots in Figures 6–8: achieved throughput, energy,
+// efficiency, and the knob trajectory (CPU usage, core frequency,
+// LLC allocation, DMA buffer size, batch size).
+type Snapshot struct {
+	Episode        int
+	ThroughputGbps float64
+	EnergyJ        float64
+	Efficiency     float64
+	Reward         float64
+	CPUPercent     float64
+	FreqGHz        float64
+	LLCPercent     float64
+	DMAMB          float64
+	Batch          float64
+}
+
+// SnapshotOf summarizes an environment's current knobs and result.
+func SnapshotOf(episode int, e *env.Env, res perfmodel.Result, reward float64) Snapshot {
+	ks := e.Knobs()
+	var freq, llc, dma, batch float64
+	for _, k := range ks {
+		freq += k.FreqGHz
+		llc += k.LLCFraction
+		dma += float64(k.DMABytes)
+		batch += float64(k.Batch)
+	}
+	n := float64(len(ks))
+	return Snapshot{
+		Episode:        episode,
+		ThroughputGbps: res.ThroughputGbps,
+		EnergyJ:        res.EnergyJoules,
+		Efficiency:     res.Efficiency,
+		Reward:         reward,
+		CPUPercent:     res.CPUPercent,
+		FreqGHz:        freq / n,
+		LLCPercent:     llc / n * 100,
+		DMAMB:          dma / n / (1 << 20),
+		Batch:          batch / n,
+	}
+}
+
+// TrainerConfig sizes a training run.
+type TrainerConfig struct {
+	// Actors is the worker count (the paper distributes actors over
+	// the cluster; in-process they interleave round-robin for
+	// determinism).
+	Actors int
+	// TotalSteps is the total environment steps across all actors
+	// (the paper's "episodes").
+	TotalSteps int
+	// LearnPerStep is how many learner updates run per actor step.
+	LearnPerStep int
+	// WarmupSteps delays learning until the replay has data.
+	WarmupSteps int
+	// PushEvery / SyncEvery configure the actors.
+	PushEvery, SyncEvery int
+	// VersionEvery bumps the broadcast parameter version every N
+	// learner updates.
+	VersionEvery int
+	// SnapshotEvery records a training-progress snapshot every N
+	// steps (the paper samples every 2000 episodes).
+	SnapshotEvery int
+	// BaseSigma is actor 0's OU noise; each additional actor gets
+	// progressively more exploration (Ape-X's per-actor epsilon).
+	BaseSigma float64
+	// EnvFactory builds one environment per actor (distinct seeds).
+	EnvFactory func(actorID int) (*env.Env, error)
+	// AgentConfig templates the learner and actor networks; state
+	// and action dims are filled from the environment.
+	AgentConfig ddpg.Config
+}
+
+// DefaultTrainerConfig returns a configuration matched to the
+// GreenNFV environment: small networks, four actors, snapshot
+// cadence proportional to run length.
+func DefaultTrainerConfig(totalSteps int) TrainerConfig {
+	snap := totalSteps / 40
+	if snap < 1 {
+		snap = 1
+	}
+	return TrainerConfig{
+		Actors:        4,
+		TotalSteps:    totalSteps,
+		LearnPerStep:  1,
+		WarmupSteps:   64,
+		PushEvery:     8,
+		SyncEvery:     16,
+		VersionEvery:  8,
+		SnapshotEvery: snap,
+		BaseSigma:     0.3,
+	}
+}
+
+// Trainer orchestrates an in-process Ape-X run.
+type Trainer struct {
+	cfg     TrainerConfig
+	learner *Learner
+	actors  []*Actor
+	// Snapshots is the recorded training curve.
+	Snapshots []Snapshot
+	steps     int
+}
+
+// NewTrainer wires the learner and actors.
+func NewTrainer(cfg TrainerConfig) (*Trainer, error) {
+	if cfg.Actors <= 0 {
+		return nil, errors.New("apex: need at least one actor")
+	}
+	if cfg.TotalSteps <= 0 {
+		return nil, errors.New("apex: TotalSteps must be positive")
+	}
+	if cfg.EnvFactory == nil {
+		return nil, errors.New("apex: need an environment factory")
+	}
+	probe, err := cfg.EnvFactory(0)
+	if err != nil {
+		return nil, err
+	}
+	agentCfg := cfg.AgentConfig
+	agentCfg.StateDim = probe.StateDim()
+	agentCfg.ActionDim = probe.ActionDim()
+	agentCfg.Prioritized = true
+	learnerAgent, err := ddpg.New(agentCfg)
+	if err != nil {
+		return nil, err
+	}
+	learner, err := NewLearner(learnerAgent)
+	if err != nil {
+		return nil, err
+	}
+	t := &Trainer{cfg: cfg, learner: learner}
+	for i := 0; i < cfg.Actors; i++ {
+		e := probe
+		if i > 0 {
+			e, err = cfg.EnvFactory(i)
+			if err != nil {
+				return nil, err
+			}
+		}
+		aCfg := agentCfg
+		aCfg.Seed = agentCfg.Seed + int64(i)*101
+		// Ape-X exploration ladder: later actors explore harder.
+		aCfg.OUSigma = cfg.BaseSigma * (1 + 0.5*float64(i))
+		aCfg.NoiseDecay = agentCfg.NoiseDecay
+		actor, err := NewActor(ActorConfig{
+			ID: i, Env: e, AgentConfig: aCfg,
+			PushEvery: cfg.PushEvery, SyncEvery: cfg.SyncEvery,
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.actors = append(t.actors, actor)
+	}
+	return t, nil
+}
+
+// Learner exposes the central learner.
+func (t *Trainer) Learner() *Learner { return t.learner }
+
+// Actors exposes the actor pool.
+func (t *Trainer) Actors() []*Actor { return t.actors }
+
+// Run executes the configured number of steps round-robin across
+// actors (deterministic and single-threaded, which suits both tests
+// and the figure harness), recording snapshots from actor 0.
+func (t *Trainer) Run() error {
+	var last0 perfmodel.Result
+	var lastR0 float64
+	have0 := false
+	for t.steps < t.cfg.TotalSteps {
+		for _, actor := range t.actors {
+			if t.steps >= t.cfg.TotalSteps {
+				break
+			}
+			reward, info, err := actor.Step(t.learner)
+			if err != nil {
+				return fmt.Errorf("apex: actor %d: %w", actor.ID, err)
+			}
+			if actor.ID == 0 {
+				last0, lastR0, have0 = info, reward, true
+			}
+			t.steps++
+			if t.steps > t.cfg.WarmupSteps {
+				for l := 0; l < t.cfg.LearnPerStep; l++ {
+					t.learner.LearnStep(t.cfg.VersionEvery)
+				}
+			}
+			if have0 && t.cfg.SnapshotEvery > 0 && t.steps%t.cfg.SnapshotEvery == 0 {
+				t.Snapshots = append(t.Snapshots,
+					SnapshotOf(t.steps, t.actors[0].Env(), last0, lastR0))
+			}
+		}
+	}
+	return nil
+}
+
+// GreedyEval runs the learned deterministic policy on a fresh
+// environment for a few settling steps and returns the final
+// measurement — the paper's periodic "testing" of the trained model.
+func (t *Trainer) GreedyEval(e *env.Env, settle int) (perfmodel.Result, error) {
+	if settle < 1 {
+		settle = 1
+	}
+	state := e.Reset(9999)
+	var last perfmodel.Result
+	for i := 0; i < settle; i++ {
+		action := t.learner.Agent().Greedy(state)
+		next, _, info, err := e.Step(action)
+		if err != nil {
+			return perfmodel.Result{}, err
+		}
+		state = next
+		last = info
+	}
+	return last, nil
+}

@@ -1,0 +1,396 @@
+// Package ddpg implements Deep Deterministic Policy Gradient
+// (Lillicrap et al., ICLR'16) — Algorithm 2 of the GreenNFV paper:
+// an actor-critic method for continuous, high-dimensional action
+// spaces, which is why the paper selects it over Q-learning and DQN
+// for the five-knobs-per-NF resource-control problem.
+package ddpg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"greennfv/internal/nn"
+	"greennfv/internal/rl/replay"
+)
+
+// Config hyper-parameterizes an agent.
+type Config struct {
+	StateDim  int
+	ActionDim int
+	// Hidden are the MLP hidden-layer widths for both networks.
+	Hidden []int
+	// ActorLR and CriticLR are Adam learning rates.
+	ActorLR, CriticLR float64
+	// Gamma is the discount factor γ.
+	Gamma float64
+	// Tau is the soft-target update rate τ (Algorithm 2 lines 9–10).
+	Tau float64
+	// BatchSize is the minibatch size N (Algorithm 2 line 3).
+	BatchSize int
+	// BufferCap is the replay capacity R.
+	BufferCap int
+	// Prioritized selects prioritized experience replay (the Ape-X
+	// configuration) over uniform sampling.
+	Prioritized bool
+	// PERAlpha/PERBeta/PERBetaInc are prioritized-replay parameters.
+	PERAlpha, PERBeta, PERBetaInc float64
+	// OUTheta/OUSigma shape the Ornstein-Uhlenbeck exploration noise
+	// N_t added to actions (Algorithm 2 line 1).
+	OUTheta, OUSigma float64
+	// NoiseDecay multiplies sigma after every Learn call so
+	// exploration anneals.
+	NoiseDecay float64
+	// Seed fixes all randomness.
+	Seed int64
+}
+
+// DefaultConfig returns hyperparameters tuned for the GreenNFV
+// environment (12–15 dimensional states/actions).
+func DefaultConfig(stateDim, actionDim int) Config {
+	return Config{
+		StateDim:  stateDim,
+		ActionDim: actionDim,
+		Hidden:    []int{48, 48},
+		ActorLR:   1e-3, CriticLR: 2e-3,
+		Gamma: 0.95, Tau: 0.01,
+		BatchSize: 32, BufferCap: 1 << 16,
+		Prioritized: true,
+		PERAlpha:    0.6, PERBeta: 0.4, PERBetaInc: 1e-5,
+		OUTheta: 0.15, OUSigma: 0.35,
+		NoiseDecay: 0.99995,
+		Seed:       1,
+	}
+}
+
+// Validate reports whether the configuration is trainable.
+func (c Config) Validate() error {
+	switch {
+	case c.StateDim <= 0 || c.ActionDim <= 0:
+		return errors.New("ddpg: state and action dims must be positive")
+	case len(c.Hidden) == 0:
+		return errors.New("ddpg: need at least one hidden layer")
+	case c.ActorLR <= 0 || c.CriticLR <= 0:
+		return errors.New("ddpg: learning rates must be positive")
+	case c.Gamma < 0 || c.Gamma > 1:
+		return errors.New("ddpg: gamma must be in [0,1] (0 = myopic/bandit)")
+	case c.Tau <= 0 || c.Tau > 1:
+		return errors.New("ddpg: tau must be in (0,1]")
+	case c.BatchSize <= 0 || c.BufferCap < c.BatchSize:
+		return errors.New("ddpg: need batch <= buffer capacity")
+	}
+	return nil
+}
+
+// OUNoise is an Ornstein-Uhlenbeck process: temporally correlated
+// exploration noise suited to physical control problems.
+type OUNoise struct {
+	theta, sigma float64
+	state        []float64
+	rng          *rand.Rand
+}
+
+// NewOUNoise builds a process over dim dimensions.
+func NewOUNoise(dim int, theta, sigma float64, rng *rand.Rand) *OUNoise {
+	return &OUNoise{theta: theta, sigma: sigma, state: make([]float64, dim), rng: rng}
+}
+
+// Sample advances the process one step and returns the noise vector
+// (owned by the process; copy to retain).
+func (o *OUNoise) Sample() []float64 {
+	for i := range o.state {
+		o.state[i] += o.theta*(-o.state[i]) + o.sigma*o.rng.NormFloat64()
+	}
+	return o.state
+}
+
+// SetSigma rescales the diffusion term.
+func (o *OUNoise) SetSigma(s float64) { o.sigma = s }
+
+// Sigma reports the current diffusion scale.
+func (o *OUNoise) Sigma() float64 { return o.sigma }
+
+// Reset zeroes the process state.
+func (o *OUNoise) Reset() {
+	for i := range o.state {
+		o.state[i] = 0
+	}
+}
+
+// Agent is one DDPG learner-actor pair with target networks and a
+// replay buffer.
+type Agent struct {
+	cfg Config
+	rng *rand.Rand
+
+	Actor        *nn.Network
+	Critic       *nn.Network
+	actorTarget  *nn.Network
+	criticTarget *nn.Network
+	actorOpt     *nn.Adam
+	criticOpt    *nn.Adam
+
+	noise *OUNoise
+
+	uniform     *replay.Uniform
+	prioritized *replay.Prioritized
+
+	learnSteps int
+	// scratch buffers to avoid per-step garbage.
+	saBuf []float64
+}
+
+// New builds an agent from a validated configuration.
+func New(cfg Config) (*Agent, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	actorSizes := append([]int{cfg.StateDim}, cfg.Hidden...)
+	actorSizes = append(actorSizes, cfg.ActionDim)
+	criticSizes := append([]int{cfg.StateDim + cfg.ActionDim}, cfg.Hidden...)
+	criticSizes = append(criticSizes, 1)
+
+	actor, err := nn.NewMLP(actorSizes, nn.ReLU, nn.Tanh, rng)
+	if err != nil {
+		return nil, err
+	}
+	critic, err := nn.NewMLP(criticSizes, nn.ReLU, nn.Linear, rng)
+	if err != nil {
+		return nil, err
+	}
+	a := &Agent{
+		cfg:          cfg,
+		rng:          rng,
+		Actor:        actor,
+		Critic:       critic,
+		actorTarget:  actor.Clone(),
+		criticTarget: critic.Clone(),
+		actorOpt:     nn.MustAdam(cfg.ActorLR),
+		criticOpt:    nn.MustAdam(cfg.CriticLR),
+		noise:        NewOUNoise(cfg.ActionDim, cfg.OUTheta, cfg.OUSigma, rng),
+		saBuf:        make([]float64, cfg.StateDim+cfg.ActionDim),
+	}
+	a.criticOpt.ClipNorm = 5
+	a.actorOpt.ClipNorm = 5
+	if cfg.Prioritized {
+		a.prioritized, err = replay.NewPrioritized(cfg.BufferCap, cfg.PERAlpha, cfg.PERBeta, cfg.PERBetaInc)
+	} else {
+		a.uniform, err = replay.NewUniform(cfg.BufferCap)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// Config returns the agent's configuration.
+func (a *Agent) Config() Config { return a.cfg }
+
+// Act computes the policy action for a state; with explore set, OU
+// noise is added. The result is clamped to [-1, 1]^ActionDim and is
+// freshly allocated.
+func (a *Agent) Act(state []float64, explore bool) ([]float64, error) {
+	if len(state) != a.cfg.StateDim {
+		return nil, fmt.Errorf("ddpg: state dim %d, want %d", len(state), a.cfg.StateDim)
+	}
+	out := a.Actor.Forward(state)
+	action := append([]float64(nil), out...)
+	if explore {
+		noise := a.noise.Sample()
+		for i := range action {
+			action[i] += noise[i]
+		}
+	}
+	for i := range action {
+		if action[i] < -1 {
+			action[i] = -1
+		}
+		if action[i] > 1 {
+			action[i] = 1
+		}
+	}
+	return action, nil
+}
+
+// Observe stores a transition in the replay buffer.
+func (a *Agent) Observe(t replay.Transition) {
+	if a.prioritized != nil {
+		a.prioritized.Add(t)
+		return
+	}
+	a.uniform.Add(t)
+}
+
+// ObserveWithPriority stores a transition with an Ape-X style
+// actor-computed initial priority.
+func (a *Agent) ObserveWithPriority(t replay.Transition, priority float64) {
+	if a.prioritized != nil {
+		a.prioritized.AddWithPriority(t, priority)
+		return
+	}
+	a.uniform.Add(t)
+}
+
+// BufferLen reports stored transitions.
+func (a *Agent) BufferLen() int {
+	if a.prioritized != nil {
+		return a.prioritized.Len()
+	}
+	return a.uniform.Len()
+}
+
+// TDError computes the temporal-difference error of a single
+// transition under the current networks — Ape-X actors use it for
+// initial priorities.
+func (a *Agent) TDError(t replay.Transition) float64 {
+	target := t.Reward
+	if !t.Done {
+		nextA := a.actorTarget.Forward(t.NextState)
+		q := a.criticTarget.Forward(concat(a.saBuf[:0], t.NextState, nextA))
+		target += a.cfg.Gamma * q[0]
+	}
+	q := a.Critic.Forward(concat(a.saBuf[:0], t.State, t.Action))
+	return target - q[0]
+}
+
+// Learn runs one DDPG update (Algorithm 2): sample a minibatch,
+// regress the critic on the bootstrapped target, ascend the actor
+// along the critic's action-gradient, and soft-update both targets.
+// It returns the mean critic loss, or 0 when the buffer has fewer
+// than BatchSize samples.
+func (a *Agent) Learn() float64 {
+	var batch []replay.Transition
+	var indices []int
+	var weights []float64
+	if a.prioritized != nil {
+		if a.prioritized.Len() < a.cfg.BatchSize {
+			return 0
+		}
+		batch, indices, weights = a.prioritized.Sample(a.rng, a.cfg.BatchSize)
+	} else {
+		if a.uniform.Len() < a.cfg.BatchSize {
+			return 0
+		}
+		batch = a.uniform.Sample(a.rng, a.cfg.BatchSize)
+	}
+	if len(batch) == 0 {
+		return 0
+	}
+
+	n := float64(len(batch))
+	// Critic update: minimize Σ w_i (y_i − Q(s_i, a_i))².
+	a.Critic.ZeroGrad()
+	var loss float64
+	tdErrs := make([]float64, len(batch))
+	for i, t := range batch {
+		y := t.Reward
+		if !t.Done {
+			nextA := a.actorTarget.Forward(t.NextState)
+			qNext := a.criticTarget.Forward(concat(a.saBuf[:0], t.NextState, nextA))
+			y += a.cfg.Gamma * qNext[0]
+		}
+		q := a.Critic.Forward(concat(a.saBuf[:0], t.State, t.Action))
+		diff := q[0] - y
+		tdErrs[i] = -diff
+		w := 1.0
+		if weights != nil {
+			w = weights[i]
+		}
+		loss += w * diff * diff
+		a.Critic.Backward([]float64{w * diff})
+	}
+	a.Critic.ScaleGrad(1 / n)
+	a.criticOpt.Step(a.Critic)
+	loss /= n
+
+	if a.prioritized != nil {
+		a.prioritized.UpdatePriorities(indices, tdErrs)
+	}
+
+	// Actor update: ascend E[Q(s, μ(s))] — equation 6. For each
+	// sample, push dQ/da back through the critic (without applying
+	// critic gradients) and then through the actor.
+	a.Actor.ZeroGrad()
+	for _, t := range batch {
+		action := a.Actor.Forward(t.State)
+		a.Critic.ZeroGrad() // discard critic grads from this pass
+		a.Critic.Forward(concat(a.saBuf[:0], t.State, action))
+		dInput := a.Critic.Backward([]float64{-1}) // ascend Q
+		dAction := dInput[a.cfg.StateDim:]
+		a.Actor.Backward(dAction)
+	}
+	a.Critic.ZeroGrad()
+	a.Actor.ScaleGrad(1 / n)
+	a.actorOpt.Step(a.Actor)
+
+	// Target network soft updates.
+	if err := a.actorTarget.SoftUpdate(a.Actor, a.cfg.Tau); err != nil {
+		panic(err) // topologies are construction-matched
+	}
+	if err := a.criticTarget.SoftUpdate(a.Critic, a.cfg.Tau); err != nil {
+		panic(err)
+	}
+
+	a.learnSteps++
+	if a.cfg.NoiseDecay > 0 && a.cfg.NoiseDecay < 1 {
+		a.noise.SetSigma(a.noise.Sigma() * a.cfg.NoiseDecay)
+	}
+	return loss
+}
+
+// LearnSteps reports completed updates.
+func (a *Agent) LearnSteps() int { return a.learnSteps }
+
+// NoiseSigma reports the current exploration scale.
+func (a *Agent) NoiseSigma() float64 { return a.noise.Sigma() }
+
+// SyncFrom copies another agent's network parameters (Ape-X actors
+// pull learner parameters through this).
+func (a *Agent) SyncFrom(src *Agent) error {
+	if err := a.Actor.CopyParamsFrom(src.Actor); err != nil {
+		return err
+	}
+	if err := a.Critic.CopyParamsFrom(src.Critic); err != nil {
+		return err
+	}
+	if err := a.actorTarget.CopyParamsFrom(src.actorTarget); err != nil {
+		return err
+	}
+	return a.criticTarget.CopyParamsFrom(src.criticTarget)
+}
+
+// ActorBytes serializes the actor network for parameter broadcast.
+func (a *Agent) ActorBytes() ([]byte, error) { return a.Actor.MarshalBinary() }
+
+// LoadActorBytes replaces the actor network from a broadcast.
+func (a *Agent) LoadActorBytes(data []byte) error {
+	var net nn.Network
+	if err := net.UnmarshalBinary(data); err != nil {
+		return err
+	}
+	return a.Actor.CopyParamsFrom(&net)
+}
+
+// concat appends a and b into dst and returns it.
+func concat(dst, a, b []float64) []float64 {
+	dst = append(dst, a...)
+	dst = append(dst, b...)
+	return dst
+}
+
+// Greedy evaluates the deterministic policy μ(s) without exploration,
+// returning a fresh slice. Unlike Act it never errors: mismatched
+// states panic (programming bug).
+func (a *Agent) Greedy(state []float64) []float64 {
+	if len(state) != a.cfg.StateDim {
+		panic("ddpg: state dimension mismatch")
+	}
+	out := a.Actor.Forward(state)
+	action := append([]float64(nil), out...)
+	for i := range action {
+		action[i] = math.Max(-1, math.Min(1, action[i]))
+	}
+	return action
+}

@@ -1,0 +1,263 @@
+package ddpg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"greennfv/internal/rl/replay"
+)
+
+func smallConfig() Config {
+	cfg := DefaultConfig(3, 2)
+	cfg.Hidden = []int{16, 16}
+	cfg.BatchSize = 16
+	cfg.BufferCap = 4096
+	return cfg
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.StateDim = 0 },
+		func(c *Config) { c.ActionDim = 0 },
+		func(c *Config) { c.Hidden = nil },
+		func(c *Config) { c.ActorLR = 0 },
+		func(c *Config) { c.Gamma = -0.5 },
+		func(c *Config) { c.Gamma = 1.5 },
+		func(c *Config) { c.Tau = 0 },
+		func(c *Config) { c.BufferCap = 1 },
+	}
+	for i, mut := range bad {
+		cfg := smallConfig()
+		mut(&cfg)
+		if _, err := New(cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestActBoundsAndDim(t *testing.T) {
+	a, err := New(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	act, err := a.Act([]float64{0.5, -0.5, 0.1}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(act) != 2 {
+		t.Fatalf("action dim = %d", len(act))
+	}
+	for _, v := range act {
+		if v < -1 || v > 1 || math.IsNaN(v) {
+			t.Errorf("action %v outside [-1,1]", v)
+		}
+	}
+	if _, err := a.Act([]float64{1}, false); err == nil {
+		t.Error("wrong state dim accepted")
+	}
+	// Greedy is deterministic.
+	g1 := a.Greedy([]float64{0.5, -0.5, 0.1})
+	g2 := a.Greedy([]float64{0.5, -0.5, 0.1})
+	for i := range g1 {
+		if g1[i] != g2[i] {
+			t.Error("greedy policy not deterministic")
+		}
+	}
+}
+
+func TestExplorationNoiseVaries(t *testing.T) {
+	a, _ := New(smallConfig())
+	s := []float64{0.1, 0.2, 0.3}
+	a1, _ := a.Act(s, true)
+	a2, _ := a.Act(s, true)
+	same := true
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("exploration produced identical actions")
+	}
+}
+
+func TestLearnRequiresBatch(t *testing.T) {
+	a, _ := New(smallConfig())
+	if loss := a.Learn(); loss != 0 {
+		t.Errorf("learn on empty buffer returned %v", loss)
+	}
+}
+
+// The canonical smoke test: DDPG must solve a trivial continuous
+// bandit (reward = -(a0-0.5)^2, independent of state). After
+// training, the greedy action should approach 0.5.
+func TestLearnsContinuousBandit(t *testing.T) {
+	cfg := smallConfig()
+	cfg.StateDim = 2
+	cfg.ActionDim = 1
+	cfg.OUSigma = 0.4
+	cfg.NoiseDecay = 0.999
+	cfg.Gamma = 0.0 // bandit: no bootstrapping
+	cfg.Seed = 3
+	a, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	state := []float64{0.3, -0.3}
+	for step := 0; step < 3000; step++ {
+		act, _ := a.Act(state, true)
+		r := -(act[0] - 0.5) * (act[0] - 0.5)
+		a.Observe(replay.Transition{
+			State:     append([]float64(nil), state...),
+			Action:    append([]float64(nil), act...),
+			Reward:    r,
+			NextState: append([]float64(nil), state...),
+			Done:      true,
+		})
+		a.Learn()
+		_ = rng
+	}
+	got := a.Greedy(state)[0]
+	if math.Abs(got-0.5) > 0.15 {
+		t.Errorf("greedy action = %v, want ~0.5", got)
+	}
+}
+
+func TestTDErrorFinite(t *testing.T) {
+	a, _ := New(smallConfig())
+	tr := replay.Transition{
+		State:     []float64{0.1, 0.2, 0.3},
+		Action:    []float64{0.5, -0.5},
+		Reward:    1.0,
+		NextState: []float64{0.2, 0.3, 0.4},
+	}
+	td := a.TDError(tr)
+	if math.IsNaN(td) || math.IsInf(td, 0) {
+		t.Errorf("TD error = %v", td)
+	}
+	// Done transitions drop the bootstrap term.
+	tr.Done = true
+	td2 := a.TDError(tr)
+	if math.IsNaN(td2) {
+		t.Error("done TD error NaN")
+	}
+}
+
+func TestNoiseDecays(t *testing.T) {
+	cfg := smallConfig()
+	cfg.NoiseDecay = 0.9
+	a, _ := New(cfg)
+	for i := 0; i < 20; i++ {
+		a.Observe(replay.Transition{
+			State:     []float64{0, 0, 0},
+			Action:    []float64{0, 0},
+			Reward:    0,
+			NextState: []float64{0, 0, 0},
+		})
+	}
+	before := a.NoiseSigma()
+	a.Learn()
+	if a.NoiseSigma() >= before {
+		t.Errorf("sigma did not decay: %v -> %v", before, a.NoiseSigma())
+	}
+	if a.LearnSteps() != 1 {
+		t.Errorf("learn steps = %d", a.LearnSteps())
+	}
+}
+
+func TestSyncFrom(t *testing.T) {
+	a, _ := New(smallConfig())
+	b, _ := New(smallConfig())
+	// Make them differ.
+	for i := 0; i < 64; i++ {
+		a.Observe(replay.Transition{
+			State:     []float64{rand.Float64(), 0, 0},
+			Action:    []float64{0.1, 0.1},
+			Reward:    1,
+			NextState: []float64{0, 0, 0},
+		})
+	}
+	a.Learn()
+	s := []float64{0.4, 0.4, 0.4}
+	if err := b.SyncFrom(a); err != nil {
+		t.Fatal(err)
+	}
+	ga, gb := a.Greedy(s), b.Greedy(s)
+	for i := range ga {
+		if ga[i] != gb[i] {
+			t.Fatal("sync did not equalize policies")
+		}
+	}
+}
+
+func TestActorBytesRoundTrip(t *testing.T) {
+	a, _ := New(smallConfig())
+	b, _ := New(smallConfig())
+	data, err := a.ActorBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.LoadActorBytes(data); err != nil {
+		t.Fatal(err)
+	}
+	s := []float64{0.2, 0.2, 0.2}
+	ga, gb := a.Greedy(s), b.Greedy(s)
+	for i := range ga {
+		if ga[i] != gb[i] {
+			t.Fatal("actor broadcast did not reproduce the policy")
+		}
+	}
+	if err := b.LoadActorBytes([]byte("garbage")); err == nil {
+		t.Error("garbage actor bytes accepted")
+	}
+}
+
+func TestUniformReplayVariantLearns(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Prioritized = false
+	a, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 64; i++ {
+		a.Observe(replay.Transition{
+			State:     []float64{0.1, 0.1, 0.1},
+			Action:    []float64{0, 0},
+			Reward:    1,
+			NextState: []float64{0.1, 0.1, 0.1},
+		})
+	}
+	if loss := a.Learn(); loss <= 0 {
+		t.Errorf("uniform-replay learn loss = %v", loss)
+	}
+}
+
+func TestOUNoiseStatistics(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := NewOUNoise(1, 0.15, 0.2, rng)
+	var sum, sumSq float64
+	const steps = 20000
+	for i := 0; i < steps; i++ {
+		v := n.Sample()[0]
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / steps
+	if math.Abs(mean) > 0.05 {
+		t.Errorf("OU mean = %v, want ~0 (mean-reverting)", mean)
+	}
+	// Stationary std of OU with these params: sigma/sqrt(2*theta - theta^2) ~ sigma/sqrt(2 theta).
+	std := math.Sqrt(sumSq/steps - mean*mean)
+	want := 0.2 / math.Sqrt(2*0.15)
+	if std < want*0.7 || std > want*1.3 {
+		t.Errorf("OU std = %v, want ~%v", std, want)
+	}
+	n.Reset()
+	if n.Sample()[0] == 0 {
+		// First post-reset sample includes fresh noise; just ensure
+		// the process still runs.
+		t.Log("post-reset sample happened to be zero")
+	}
+}

@@ -1,0 +1,266 @@
+// Package replay provides experience-replay buffers for DDPG: a
+// uniform ring buffer and the prioritized buffer (Schaul et al.,
+// "Prioritized Experience Replay") that the Ape-X architecture
+// (Horgan et al.) extends to distributed actors. Priorities live in
+// a sum tree so sampling and updates are O(log n).
+package replay
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sync"
+)
+
+// Transition is one (state, action, reward, next state) experience
+// tuple, the sample unit of Algorithm 2.
+type Transition struct {
+	State     []float64
+	Action    []float64
+	Reward    float64
+	NextState []float64
+	Done      bool
+}
+
+// Uniform is a fixed-capacity ring buffer with uniform sampling.
+// It is goroutine-safe.
+type Uniform struct {
+	mu    sync.Mutex
+	buf   []Transition
+	next  int
+	count int
+}
+
+// NewUniform builds a buffer holding up to capacity transitions.
+func NewUniform(capacity int) (*Uniform, error) {
+	if capacity <= 0 {
+		return nil, errors.New("replay: capacity must be positive")
+	}
+	return &Uniform{buf: make([]Transition, capacity)}, nil
+}
+
+// Add stores a transition, evicting the oldest when full.
+func (u *Uniform) Add(t Transition) {
+	u.mu.Lock()
+	u.buf[u.next] = t
+	u.next = (u.next + 1) % len(u.buf)
+	if u.count < len(u.buf) {
+		u.count++
+	}
+	u.mu.Unlock()
+}
+
+// Len reports the number of stored transitions.
+func (u *Uniform) Len() int {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return u.count
+}
+
+// Sample draws n transitions uniformly with replacement. It returns
+// fewer than n only when the buffer is empty.
+func (u *Uniform) Sample(rng *rand.Rand, n int) []Transition {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if u.count == 0 || n <= 0 {
+		return nil
+	}
+	out := make([]Transition, n)
+	for i := 0; i < n; i++ {
+		out[i] = u.buf[rng.Intn(u.count)]
+	}
+	return out
+}
+
+// sumTree is a complete binary tree whose leaves hold priorities and
+// whose internal nodes hold subtree sums, supporting O(log n)
+// prefix-sum search.
+type sumTree struct {
+	cap  int
+	tree []float64 // 1-indexed; leaves at [cap, 2cap)
+}
+
+func newSumTree(capacity int) *sumTree {
+	return &sumTree{cap: capacity, tree: make([]float64, 2*capacity)}
+}
+
+func (s *sumTree) set(idx int, p float64) {
+	i := idx + s.cap
+	s.tree[i] = p
+	for i >>= 1; i >= 1; i >>= 1 {
+		s.tree[i] = s.tree[2*i] + s.tree[2*i+1]
+	}
+}
+
+func (s *sumTree) get(idx int) float64 { return s.tree[idx+s.cap] }
+
+func (s *sumTree) total() float64 { return s.tree[1] }
+
+// find locates the leaf containing prefix sum v.
+func (s *sumTree) find(v float64) int {
+	i := 1
+	for i < s.cap {
+		left := s.tree[2*i]
+		if v < left {
+			i = 2 * i
+		} else {
+			v -= left
+			i = 2*i + 1
+		}
+	}
+	return i - s.cap
+}
+
+// Prioritized is the proportional prioritized replay buffer:
+// transitions are sampled with probability p_i^α / Σp^α and weighted
+// by importance-sampling corrections (β annealed toward 1).
+// It is goroutine-safe: Ape-X actors Add concurrently with the
+// learner's Sample/UpdatePriorities.
+type Prioritized struct {
+	mu       sync.Mutex
+	tree     *sumTree
+	data     []Transition
+	next     int
+	count    int
+	alpha    float64
+	beta     float64
+	betaInc  float64
+	eps      float64
+	maxPrior float64
+}
+
+// NewPrioritized builds a buffer with the standard hyperparameters
+// (α controls how strongly priorities skew sampling, β the initial
+// importance-sampling correction annealed by betaInc per sample
+// call).
+func NewPrioritized(capacity int, alpha, beta, betaInc float64) (*Prioritized, error) {
+	if capacity <= 0 {
+		return nil, errors.New("replay: capacity must be positive")
+	}
+	if alpha < 0 || beta < 0 || beta > 1 {
+		return nil, errors.New("replay: need alpha >= 0 and beta in [0,1]")
+	}
+	// Round capacity up to a power of two for the tree.
+	capPow := 1
+	for capPow < capacity {
+		capPow *= 2
+	}
+	return &Prioritized{
+		tree:     newSumTree(capPow),
+		data:     make([]Transition, capacity),
+		alpha:    alpha,
+		beta:     beta,
+		betaInc:  betaInc,
+		eps:      1e-4,
+		maxPrior: 1,
+	}, nil
+}
+
+// Len reports the number of stored transitions.
+func (p *Prioritized) Len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.count
+}
+
+// Add stores a transition at maximal priority so every experience is
+// replayed at least once (the standard PER bootstrap).
+func (p *Prioritized) Add(t Transition) {
+	p.AddWithPriority(t, p.maxPrior)
+}
+
+// AddWithPriority stores a transition with an explicit priority —
+// Ape-X actors compute initial priorities locally from their own TD
+// estimates so fresh experience competes immediately.
+func (p *Prioritized) AddWithPriority(t Transition, priority float64) {
+	if priority <= 0 || math.IsNaN(priority) {
+		priority = p.eps
+	}
+	p.mu.Lock()
+	if priority > p.maxPrior {
+		p.maxPrior = priority
+	}
+	p.data[p.next] = t
+	p.tree.set(p.next, math.Pow(priority+p.eps, p.alpha))
+	p.next = (p.next + 1) % len(p.data)
+	if p.count < len(p.data) {
+		p.count++
+	}
+	p.mu.Unlock()
+}
+
+// Sample draws n transitions by priority. It returns the samples,
+// their buffer indices (for UpdatePriorities) and their normalized
+// importance-sampling weights. Fewer than n are returned only when
+// the buffer is empty.
+func (p *Prioritized) Sample(rng *rand.Rand, n int) ([]Transition, []int, []float64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.count == 0 || n <= 0 {
+		return nil, nil, nil
+	}
+	total := p.tree.total()
+	if total <= 0 {
+		return nil, nil, nil
+	}
+	samples := make([]Transition, 0, n)
+	indices := make([]int, 0, n)
+	weights := make([]float64, 0, n)
+	segment := total / float64(n)
+	maxW := 0.0
+	for i := 0; i < n; i++ {
+		v := (float64(i) + rng.Float64()) * segment
+		if v >= total {
+			v = total * (1 - 1e-12)
+		}
+		idx := p.tree.find(v)
+		if idx >= p.count { // unfilled leaf (power-of-two padding)
+			idx = p.count - 1
+		}
+		prob := p.tree.get(idx) / total
+		if prob <= 0 {
+			prob = 1e-12
+		}
+		w := math.Pow(float64(p.count)*prob, -p.beta)
+		samples = append(samples, p.data[idx])
+		indices = append(indices, idx)
+		weights = append(weights, w)
+		if w > maxW {
+			maxW = w
+		}
+	}
+	if maxW > 0 {
+		for i := range weights {
+			weights[i] /= maxW
+		}
+	}
+	p.beta = math.Min(1, p.beta+p.betaInc)
+	return samples, indices, weights
+}
+
+// UpdatePriorities reassigns priorities (|TD error|) after a learning
+// step.
+func (p *Prioritized) UpdatePriorities(indices []int, tdErrs []float64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i, idx := range indices {
+		if idx < 0 || idx >= len(p.data) || i >= len(tdErrs) {
+			continue
+		}
+		prio := math.Abs(tdErrs[i])
+		if math.IsNaN(prio) {
+			prio = p.eps
+		}
+		if prio > p.maxPrior {
+			p.maxPrior = prio
+		}
+		p.tree.set(idx, math.Pow(prio+p.eps, p.alpha))
+	}
+}
+
+// Beta reports the current importance-sampling exponent.
+func (p *Prioritized) Beta() float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.beta
+}

@@ -1,0 +1,237 @@
+package replay
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func tr(r float64) Transition {
+	return Transition{State: []float64{r}, Action: []float64{0}, Reward: r, NextState: []float64{r + 1}}
+}
+
+func TestUniformBasics(t *testing.T) {
+	u, err := NewUniform(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Len() != 0 {
+		t.Error("fresh buffer non-empty")
+	}
+	rng := rand.New(rand.NewSource(1))
+	if got := u.Sample(rng, 3); got != nil {
+		t.Error("sample from empty buffer")
+	}
+	for i := 0; i < 6; i++ { // overfill: oldest evicted
+		u.Add(tr(float64(i)))
+	}
+	if u.Len() != 4 {
+		t.Errorf("len = %d, want 4", u.Len())
+	}
+	s := u.Sample(rng, 100)
+	if len(s) != 100 {
+		t.Fatalf("sample = %d", len(s))
+	}
+	for _, x := range s {
+		if x.Reward < 2 || x.Reward > 5 {
+			t.Fatalf("evicted transition sampled: %v", x.Reward)
+		}
+	}
+	if _, err := NewUniform(0); err == nil {
+		t.Error("zero capacity accepted")
+	}
+}
+
+func TestSumTreePrefixSearch(t *testing.T) {
+	s := newSumTree(4)
+	s.set(0, 1)
+	s.set(1, 2)
+	s.set(2, 3)
+	s.set(3, 4)
+	if s.total() != 10 {
+		t.Fatalf("total = %v", s.total())
+	}
+	cases := []struct {
+		v    float64
+		want int
+	}{
+		{0, 0}, {0.99, 0}, {1, 1}, {2.99, 1}, {3, 2}, {5.99, 2}, {6, 3}, {9.99, 3},
+	}
+	for _, c := range cases {
+		if got := s.find(c.v); got != c.want {
+			t.Errorf("find(%v) = %d, want %d", c.v, got, c.want)
+		}
+	}
+	// Updating a leaf refreshes sums.
+	s.set(0, 5)
+	if s.total() != 14 {
+		t.Errorf("total after update = %v", s.total())
+	}
+}
+
+// Property: sum tree total always equals the sum of leaf priorities.
+func TestSumTreeInvariant(t *testing.T) {
+	f := func(ops []uint8) bool {
+		s := newSumTree(8)
+		model := make([]float64, 8)
+		for i, op := range ops {
+			idx := int(op % 8)
+			p := float64(op%13) + 0.5
+			s.set(idx, p)
+			model[idx] = p
+			_ = i
+			var want float64
+			for _, v := range model {
+				want += v
+			}
+			if math.Abs(s.total()-want) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPrioritizedValidation(t *testing.T) {
+	if _, err := NewPrioritized(0, 0.6, 0.4, 1e-4); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	if _, err := NewPrioritized(8, -1, 0.4, 0); err == nil {
+		t.Error("negative alpha accepted")
+	}
+	if _, err := NewPrioritized(8, 0.6, 1.5, 0); err == nil {
+		t.Error("beta > 1 accepted")
+	}
+}
+
+func TestPrioritizedSamplingSkew(t *testing.T) {
+	p, err := NewPrioritized(64, 1.0, 0.4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One high-priority transition among many low-priority ones.
+	for i := 0; i < 63; i++ {
+		p.AddWithPriority(tr(0), 0.01)
+	}
+	p.AddWithPriority(tr(99), 10)
+	rng := rand.New(rand.NewSource(5))
+	hits := 0
+	const draws = 2000
+	samples, _, _ := p.Sample(rng, draws)
+	for _, s := range samples {
+		if s.Reward == 99 {
+			hits++
+		}
+	}
+	frac := float64(hits) / draws
+	// Priority share = 10 / (10 + 63*0.01) ≈ 0.94.
+	if frac < 0.7 {
+		t.Errorf("high-priority sampled %.2f of draws, want >> uniform 1/64", frac)
+	}
+}
+
+func TestPrioritizedImportanceWeights(t *testing.T) {
+	p, _ := NewPrioritized(16, 1.0, 0.5, 0)
+	for i := 0; i < 8; i++ {
+		p.AddWithPriority(tr(float64(i)), float64(i+1))
+	}
+	rng := rand.New(rand.NewSource(9))
+	samples, indices, weights := p.Sample(rng, 32)
+	if len(samples) != 32 || len(indices) != 32 || len(weights) != 32 {
+		t.Fatalf("sample sizes %d/%d/%d", len(samples), len(indices), len(weights))
+	}
+	maxW := 0.0
+	for _, w := range weights {
+		if w <= 0 || w > 1+1e-9 {
+			t.Fatalf("IS weight %v outside (0,1]", w)
+		}
+		if w > maxW {
+			maxW = w
+		}
+	}
+	if math.Abs(maxW-1) > 1e-9 {
+		t.Errorf("max weight = %v, want normalized to 1", maxW)
+	}
+}
+
+func TestPrioritizedUpdateChangesSampling(t *testing.T) {
+	p, _ := NewPrioritized(8, 1.0, 0.4, 0)
+	for i := 0; i < 8; i++ {
+		p.AddWithPriority(tr(float64(i)), 1)
+	}
+	// Crush all priorities except index 3.
+	indices := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	tds := []float64{0, 0, 0, 50, 0, 0, 0, 0}
+	p.UpdatePriorities(indices, tds)
+	rng := rand.New(rand.NewSource(11))
+	samples, _, _ := p.Sample(rng, 500)
+	hits := 0
+	for _, s := range samples {
+		if s.Reward == 3 {
+			hits++
+		}
+	}
+	if float64(hits)/500 < 0.9 {
+		t.Errorf("updated priority sampled only %d/500", hits)
+	}
+	// Out-of-range updates are ignored, not panics.
+	p.UpdatePriorities([]int{-1, 999}, []float64{1, 1})
+}
+
+func TestPrioritizedBetaAnneals(t *testing.T) {
+	p, _ := NewPrioritized(8, 0.6, 0.4, 0.1)
+	p.Add(tr(1))
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 7; i++ {
+		p.Sample(rng, 4)
+	}
+	if math.Abs(p.Beta()-1.0) > 1e-9 {
+		t.Errorf("beta = %v, want annealed to 1", p.Beta())
+	}
+}
+
+func TestPrioritizedEviction(t *testing.T) {
+	p, _ := NewPrioritized(4, 0.6, 0.4, 0)
+	for i := 0; i < 10; i++ {
+		p.Add(tr(float64(i)))
+	}
+	if p.Len() != 4 {
+		t.Errorf("len = %d, want 4", p.Len())
+	}
+	rng := rand.New(rand.NewSource(17))
+	samples, _, _ := p.Sample(rng, 50)
+	for _, s := range samples {
+		if s.Reward < 6 {
+			t.Fatalf("evicted transition sampled: %v", s.Reward)
+		}
+	}
+}
+
+func TestPrioritizedBadPriorities(t *testing.T) {
+	p, _ := NewPrioritized(4, 0.6, 0.4, 0)
+	p.AddWithPriority(tr(1), math.NaN())
+	p.AddWithPriority(tr(2), -5)
+	p.AddWithPriority(tr(3), 0)
+	rng := rand.New(rand.NewSource(19))
+	samples, _, weights := p.Sample(rng, 10)
+	if len(samples) != 10 {
+		t.Fatalf("sampling failed with sanitized priorities")
+	}
+	for _, w := range weights {
+		if math.IsNaN(w) {
+			t.Fatal("NaN importance weight")
+		}
+	}
+}
+
+func TestPrioritizedEmptySample(t *testing.T) {
+	p, _ := NewPrioritized(4, 0.6, 0.4, 0)
+	rng := rand.New(rand.NewSource(23))
+	if s, _, _ := p.Sample(rng, 5); s != nil {
+		t.Error("sample from empty buffer")
+	}
+}

@@ -1,0 +1,237 @@
+// Package sim is a discrete-event simulator of an NF service chain:
+// a tandem of FIFO servers with finite queues, driven by any arrival
+// process from internal/traffic. It provides an independent check on
+// the analytic performance model — the two share per-NF service
+// times but nothing else, so agreement on throughput and saturation
+// behaviour validates the capacity math — and it produces the
+// latency distributions the analytic model cannot (the paper's
+// related work cares about delay-sensitive chains).
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"math/rand"
+
+	"greennfv/internal/perfmodel"
+	"greennfv/internal/stats"
+	"greennfv/internal/traffic"
+)
+
+// Config shapes a simulation.
+type Config struct {
+	// ServiceNs is the deterministic per-packet service time of each
+	// NF stage in nanoseconds (typically perfmodel Result.PerNF
+	// ServiceTimeNs). Servers run one packet at a time per unit of
+	// CPU share.
+	ServiceNs []float64
+	// Servers is the parallel-server count per stage (the CPU share
+	// granted to the NF, floored at 1).
+	Servers []int
+	// QueueCap is each stage's queue capacity in packets (the RX
+	// ring); arrivals to a full queue drop.
+	QueueCap int
+	// Horizon is the simulated duration in seconds.
+	Horizon float64
+	// Seed drives the arrival process.
+	Seed int64
+	// LatencyCapNs bounds the latency histogram range.
+	LatencyCapNs float64
+}
+
+// FromModel derives a Config from an analytic evaluation: service
+// times and parallel servers from the per-NF results and knobs.
+func FromModel(res perfmodel.Result, knobs []perfmodel.NFKnobs, queueCap int, horizon float64, seed int64) (Config, error) {
+	if len(res.PerNF) == 0 || len(knobs) != len(res.PerNF) {
+		return Config{}, errors.New("sim: result and knobs must cover the same NFs")
+	}
+	cfg := Config{QueueCap: queueCap, Horizon: horizon, Seed: seed, LatencyCapNs: 5e6}
+	for i, nf := range res.PerNF {
+		servers := int(knobs[i].CPUShare)
+		if servers < 1 {
+			servers = 1
+		}
+		// Service time per server: the analytic model treats share as
+		// fluid capacity, so a share of s means each of ceil(s)
+		// servers runs at s/ceil(s) speed.
+		speed := knobs[i].CPUShare / float64(servers)
+		if speed <= 0 {
+			speed = 1
+		}
+		cfg.ServiceNs = append(cfg.ServiceNs, nf.ServiceTimeNs/speed)
+		cfg.Servers = append(cfg.Servers, servers)
+	}
+	return cfg, nil
+}
+
+// Validate reports whether the configuration can run.
+func (c Config) Validate() error {
+	switch {
+	case len(c.ServiceNs) == 0:
+		return errors.New("sim: need at least one stage")
+	case len(c.Servers) != len(c.ServiceNs):
+		return errors.New("sim: Servers must match ServiceNs")
+	case c.QueueCap <= 0:
+		return errors.New("sim: QueueCap must be positive")
+	case c.Horizon <= 0:
+		return errors.New("sim: Horizon must be positive")
+	}
+	for i, s := range c.ServiceNs {
+		if s <= 0 {
+			return errors.New("sim: service times must be positive")
+		}
+		if c.Servers[i] <= 0 {
+			return errors.New("sim: server counts must be positive")
+		}
+	}
+	return nil
+}
+
+// Result summarizes a run.
+type Result struct {
+	// Offered is the number of packets the arrival process produced.
+	Offered int64
+	// Delivered is the number that traversed the whole chain.
+	Delivered int64
+	// Dropped counts queue-full losses per stage (index 0 is the
+	// ingress/DMA queue).
+	Dropped []int64
+	// ThroughputPPS is Delivered / Horizon.
+	ThroughputPPS float64
+	// Latency is the end-to-end latency distribution (ns).
+	Latency *stats.Histogram
+	// BusyFrac is each stage's mean server utilization.
+	BusyFrac []float64
+}
+
+// event is a pending simulation event.
+type event struct {
+	at   float64 // seconds
+	kind int     // 0 = arrival into stage, 1 = service completion
+	pkt  *packet
+	nf   int
+}
+
+type packet struct {
+	arrived float64
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int            { return len(h) }
+func (h eventHeap) Less(i, j int) bool  { return h[i].at < h[j].at }
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// stage is one NF server group with its queue.
+type stage struct {
+	serviceS float64 // seconds per packet per server
+	servers  int
+	busy     int
+	queue    []*packet
+	queueCap int
+	busyTime float64
+	lastT    float64
+}
+
+// Run simulates the chain under the arrival process and reports the
+// outcome.
+func Run(cfg Config, arr traffic.Arrival) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	if arr == nil {
+		return Result{}, errors.New("sim: nil arrival process")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	stages := make([]*stage, len(cfg.ServiceNs))
+	for i := range stages {
+		stages[i] = &stage{
+			serviceS: cfg.ServiceNs[i] * 1e-9,
+			servers:  cfg.Servers[i],
+			queueCap: cfg.QueueCap,
+		}
+	}
+	latCap := cfg.LatencyCapNs
+	if latCap <= 0 {
+		latCap = 5e6
+	}
+	res := Result{
+		Dropped: make([]int64, len(stages)),
+		Latency: stats.NewHistogram(0, latCap, 512),
+	}
+
+	var h eventHeap
+	heap.Init(&h)
+	first := arr.Next(rng)
+	if first <= cfg.Horizon {
+		heap.Push(&h, event{at: first, kind: 0, nf: 0, pkt: &packet{arrived: first}})
+		res.Offered++
+	}
+
+	accountBusy := func(st *stage, now float64) {
+		st.busyTime += float64(st.busy) * (now - st.lastT)
+		st.lastT = now
+	}
+
+	startService := func(now float64, nfIdx int, p *packet) {
+		st := stages[nfIdx]
+		st.busy++
+		heap.Push(&h, event{at: now + st.serviceS, kind: 1, nf: nfIdx, pkt: p})
+	}
+
+	for h.Len() > 0 {
+		ev := heap.Pop(&h).(event)
+		now := ev.at
+		if now > cfg.Horizon {
+			break
+		}
+		st := stages[ev.nf]
+		accountBusy(st, now)
+		switch ev.kind {
+		case 0: // arrival at stage ev.nf
+			if ev.nf == 0 {
+				// Schedule the next exogenous arrival.
+				next := now + arr.Next(rng)
+				if next <= cfg.Horizon {
+					heap.Push(&h, event{at: next, kind: 0, nf: 0, pkt: &packet{arrived: next}})
+					res.Offered++
+				}
+			}
+			if st.busy < st.servers {
+				startService(now, ev.nf, ev.pkt)
+			} else if len(st.queue) < st.queueCap {
+				st.queue = append(st.queue, ev.pkt)
+			} else {
+				res.Dropped[ev.nf]++
+			}
+		case 1: // service completion at stage ev.nf
+			st.busy--
+			if len(st.queue) > 0 {
+				next := st.queue[0]
+				st.queue = st.queue[1:]
+				startService(now, ev.nf, next)
+			}
+			if ev.nf+1 < len(stages) {
+				heap.Push(&h, event{at: now, kind: 0, nf: ev.nf + 1, pkt: ev.pkt})
+			} else {
+				res.Delivered++
+				res.Latency.Add((now - ev.pkt.arrived) * 1e9)
+			}
+		}
+	}
+
+	res.ThroughputPPS = float64(res.Delivered) / cfg.Horizon
+	for _, st := range stages {
+		accountBusy(st, cfg.Horizon)
+		res.BusyFrac = append(res.BusyFrac, st.busyTime/(cfg.Horizon*float64(st.servers)))
+	}
+	return res, nil
+}

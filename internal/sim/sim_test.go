@@ -1,0 +1,226 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"greennfv/internal/env"
+	"greennfv/internal/perfmodel"
+	"greennfv/internal/traffic"
+)
+
+func cbr(t *testing.T, pps float64) traffic.Arrival {
+	t.Helper()
+	a, err := traffic.NewCBR(pps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{},
+		{ServiceNs: []float64{100}, Servers: []int{1, 2}, QueueCap: 8, Horizon: 1},
+		{ServiceNs: []float64{100}, Servers: []int{1}, QueueCap: 0, Horizon: 1},
+		{ServiceNs: []float64{100}, Servers: []int{1}, QueueCap: 8, Horizon: 0},
+		{ServiceNs: []float64{0}, Servers: []int{1}, QueueCap: 8, Horizon: 1},
+		{ServiceNs: []float64{100}, Servers: []int{0}, QueueCap: 8, Horizon: 1},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	if _, err := Run(Config{}, nil); err == nil {
+		t.Error("invalid run accepted")
+	}
+	good := Config{ServiceNs: []float64{100}, Servers: []int{1}, QueueCap: 8, Horizon: 0.01}
+	if _, err := Run(good, nil); err == nil {
+		t.Error("nil arrival accepted")
+	}
+}
+
+// Underloaded chain: virtually everything is delivered and latency
+// approximates the sum of service times.
+func TestUnderloadedDeliversAll(t *testing.T) {
+	cfg := Config{
+		ServiceNs:    []float64{500, 700, 400},
+		Servers:      []int{1, 1, 1},
+		QueueCap:     1024,
+		Horizon:      0.2,
+		Seed:         1,
+		LatencyCapNs: 2e4, // 39 ns buckets: resolve the ~1.6 us latencies
+	}
+	// Offered 200 kpps against a 1.43 Mpps bottleneck.
+	res, err := Run(cfg, cbr(t, 200e3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Offered == 0 {
+		t.Fatal("no packets offered")
+	}
+	lossRate := 1 - float64(res.Delivered)/float64(res.Offered)
+	if lossRate > 0.001 {
+		t.Errorf("underloaded loss rate %v", lossRate)
+	}
+	wantLat := 500.0 + 700 + 400
+	p50 := res.Latency.Quantile(0.5)
+	if math.Abs(p50-wantLat) > wantLat*0.1 {
+		t.Errorf("median latency %v ns, want ~%v", p50, wantLat)
+	}
+}
+
+// Overloaded chain: throughput saturates at the bottleneck capacity
+// and the bottleneck stage runs ~100% busy.
+func TestOverloadedSaturatesAtBottleneck(t *testing.T) {
+	cfg := Config{
+		ServiceNs: []float64{300, 1000, 300}, // bottleneck: 1 Mpps
+		Servers:   []int{1, 1, 1},
+		QueueCap:  256,
+		Horizon:   0.2,
+		Seed:      2,
+	}
+	res, err := Run(cfg, cbr(t, 3e6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	capacity := 1e9 / 1000.0
+	if math.Abs(res.ThroughputPPS-capacity)/capacity > 0.05 {
+		t.Errorf("saturated throughput %v, want ~%v", res.ThroughputPPS, capacity)
+	}
+	if res.BusyFrac[1] < 0.95 {
+		t.Errorf("bottleneck busy %v, want ~1", res.BusyFrac[1])
+	}
+	// Drops occur at or before the bottleneck, never after it.
+	if res.Dropped[2] != 0 {
+		t.Errorf("post-bottleneck drops: %v", res.Dropped)
+	}
+	if res.Dropped[0]+res.Dropped[1] == 0 {
+		t.Error("overload produced no drops")
+	}
+}
+
+// Parallel servers multiply stage capacity.
+func TestParallelServersScaleCapacity(t *testing.T) {
+	base := Config{
+		ServiceNs: []float64{1000},
+		Servers:   []int{1},
+		QueueCap:  128,
+		Horizon:   0.1,
+		Seed:      3,
+	}
+	one, err := Run(base, cbr(t, 4e6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base.Servers = []int{4}
+	four, err := Run(base, cbr(t, 4e6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := four.ThroughputPPS / one.ThroughputPPS
+	if ratio < 3.6 || ratio > 4.4 {
+		t.Errorf("4-server speedup = %v, want ~4", ratio)
+	}
+}
+
+// Conservation: offered = delivered + dropped (+ a bounded number of
+// packets still in flight at the horizon).
+func TestConservation(t *testing.T) {
+	cfg := Config{
+		ServiceNs: []float64{800, 900},
+		Servers:   []int{1, 1},
+		QueueCap:  64,
+		Horizon:   0.05,
+		Seed:      4,
+	}
+	res, err := Run(cfg, cbr(t, 2e6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dropped int64
+	for _, d := range res.Dropped {
+		dropped += d
+	}
+	inFlightMax := int64(2 * (64 + 1)) // queues + servers
+	diff := res.Offered - res.Delivered - dropped
+	if diff < 0 || diff > inFlightMax {
+		t.Errorf("conservation: offered %d delivered %d dropped %d (in flight %d)",
+			res.Offered, res.Delivered, dropped, diff)
+	}
+}
+
+// Cross-validation: the DES and the analytic model must agree on
+// achieved throughput within 10% in both the offered-bound and the
+// capacity-bound regime. The two share per-NF service times but
+// nothing else.
+func TestAgreesWithAnalyticModel(t *testing.T) {
+	model := perfmodel.Default()
+	chain := perfmodel.StandardChain()
+	knobs := perfmodel.DefaultKnobs(3)
+	for i := range knobs {
+		knobs[i].Batch = 64
+		knobs[i].DMABytes = 2 << 20
+	}
+	for _, offered := range []float64{300e3, 2.2e6} {
+		tr := perfmodel.Traffic{OfferedPPS: offered, FrameBytes: 512, Burstiness: 1}
+		analytic, err := model.Evaluate(chain, knobs, tr, perfmodel.EvalOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg, err := FromModel(analytic, knobs, 4096, 0.1, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		des, err := Run(cfg, cbr(t, offered))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel := math.Abs(des.ThroughputPPS-analytic.ThroughputPPS) / analytic.ThroughputPPS
+		if rel > 0.10 {
+			t.Errorf("offered %.0f: DES %.0f pps vs analytic %.0f pps (%.1f%% apart)",
+				offered, des.ThroughputPPS, analytic.ThroughputPPS, rel*100)
+		}
+	}
+}
+
+func TestFromModelValidation(t *testing.T) {
+	if _, err := FromModel(perfmodel.Result{}, nil, 16, 1, 1); err == nil {
+		t.Error("empty result accepted")
+	}
+}
+
+// Latency rises sharply as load approaches capacity — basic queueing
+// behaviour the analytic model abstracts away.
+func TestLatencyGrowsNearSaturation(t *testing.T) {
+	cfg := Config{
+		ServiceNs:    []float64{900},
+		Servers:      []int{1},
+		QueueCap:     2048,
+		Horizon:      0.1,
+		LatencyCapNs: 2e5, // 390 ns buckets: resolve queueing delays
+	}
+	poisson := func(pps float64) traffic.Arrival {
+		a, err := traffic.NewPoisson(pps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a
+	}
+	cfg.Seed = 6
+	light, err := Run(cfg, poisson(0.3e6)) // 27% load
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Seed = 6
+	heavy, err := Run(cfg, poisson(1.05e6)) // ~95% load
+	if err != nil {
+		t.Fatal(err)
+	}
+	if heavy.Latency.Quantile(0.95) < 3*light.Latency.Quantile(0.95) {
+		t.Errorf("p95 latency light %.0f ns vs heavy %.0f ns: no queueing growth",
+			light.Latency.Quantile(0.95), heavy.Latency.Quantile(0.95))
+	}
+	_ = env.StandardWorkload // keep the env import meaningful
+}

@@ -1,0 +1,143 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Histogram is a fixed-range linear-bucket histogram with overflow and
+// underflow buckets. It answers approximate percentile queries in
+// O(buckets) and is used for latency and batch-occupancy distributions
+// in the packet simulator.
+type Histogram struct {
+	lo, hi   float64
+	width    float64
+	counts   []uint64
+	under    uint64
+	over     uint64
+	total    uint64
+	sum      float64
+	observed Welford
+}
+
+// NewHistogram builds a histogram covering [lo, hi) with n equal
+// buckets. It panics if n <= 0 or hi <= lo (construction constants).
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n <= 0 {
+		panic("stats: histogram needs at least one bucket")
+	}
+	if hi <= lo {
+		panic("stats: histogram range must be non-empty")
+	}
+	return &Histogram{
+		lo:     lo,
+		hi:     hi,
+		width:  (hi - lo) / float64(n),
+		counts: make([]uint64, n),
+	}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	h.total++
+	h.sum += x
+	h.observed.Add(x)
+	switch {
+	case x < h.lo:
+		h.under++
+	case x >= h.hi:
+		h.over++
+	default:
+		idx := int((x - h.lo) / h.width)
+		if idx >= len(h.counts) { // guard fp edge at x == hi-epsilon
+			idx = len(h.counts) - 1
+		}
+		h.counts[idx]++
+	}
+}
+
+// Count reports the total number of observations, including the
+// underflow and overflow buckets.
+func (h *Histogram) Count() uint64 { return h.total }
+
+// Mean reports the exact mean of all observations.
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / float64(h.total)
+}
+
+// Stddev reports the exact sample standard deviation of observations.
+func (h *Histogram) Stddev() float64 { return h.observed.Stddev() }
+
+// Quantile reports an approximate q-quantile (q in [0,1]) by linear
+// interpolation within the containing bucket. Underflow observations
+// resolve to lo and overflow observations to hi.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(h.total)
+	cum := float64(h.under)
+	if target <= cum {
+		return h.lo
+	}
+	for i, c := range h.counts {
+		next := cum + float64(c)
+		if target <= next && c > 0 {
+			frac := (target - cum) / float64(c)
+			return h.lo + (float64(i)+frac)*h.width
+		}
+		cum = next
+	}
+	return h.hi
+}
+
+// String renders a compact summary for logs.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("hist{n=%d mean=%.4g p50=%.4g p99=%.4g}",
+		h.total, h.Mean(), h.Quantile(0.5), h.Quantile(0.99))
+}
+
+// Reset clears all recorded observations.
+func (h *Histogram) Reset() {
+	for i := range h.counts {
+		h.counts[i] = 0
+	}
+	h.under, h.over, h.total, h.sum = 0, 0, 0, 0
+	h.observed.Reset()
+}
+
+// Percentile computes the exact p-th percentile (p in [0,100]) of a
+// sample slice using linear interpolation between closest ranks.
+// The input is not modified.
+func Percentile(sample []float64, p float64) float64 {
+	if len(sample) == 0 {
+		return math.NaN()
+	}
+	s := make([]float64, len(sample))
+	copy(s, sample)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	rank := p / 100 * float64(len(s)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := rank - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}

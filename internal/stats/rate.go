@@ -1,0 +1,94 @@
+package stats
+
+// RateEstimator tracks an event rate (events per second) over a
+// sliding window of fixed-width time slots. GreenNFV's NF controller
+// uses it to estimate per-flow packet arrival rates Ω, which feed both
+// the RL state vector and the polling-frequency decision.
+type RateEstimator struct {
+	slotSeconds float64
+	slots       []float64
+	head        int
+	filled      int
+	current     float64 // events accumulated in the open slot
+	slotStart   float64 // timestamp at which the open slot began
+	now         float64
+}
+
+// NewRateEstimator builds an estimator averaging over `slots` slots of
+// `slotSeconds` each. It panics on non-positive arguments.
+func NewRateEstimator(slots int, slotSeconds float64) *RateEstimator {
+	if slots <= 0 || slotSeconds <= 0 {
+		panic("stats: rate estimator needs positive slots and width")
+	}
+	return &RateEstimator{
+		slotSeconds: slotSeconds,
+		slots:       make([]float64, slots),
+	}
+}
+
+// Observe records `count` events at absolute time t (seconds). Time
+// must be monotonically non-decreasing across calls.
+func (r *RateEstimator) Observe(t float64, count float64) {
+	r.advance(t)
+	r.current += count
+}
+
+// Rate reports the estimated events/second at time t, averaging the
+// closed slots plus the partially open one.
+func (r *RateEstimator) Rate(t float64) float64 {
+	r.advance(t)
+	total := r.current
+	span := r.now - r.slotStart
+	for i := 0; i < r.filled; i++ {
+		total += r.slots[i]
+	}
+	span += float64(r.filled) * r.slotSeconds
+	if span <= 0 {
+		return 0
+	}
+	return total / span
+}
+
+// advance closes any slots that have fully elapsed by time t.
+func (r *RateEstimator) advance(t float64) {
+	if t < r.now {
+		t = r.now // ignore time regressions rather than corrupting state
+	}
+	r.now = t
+	for r.now-r.slotStart >= r.slotSeconds {
+		// Close the open slot into the ring.
+		r.slots[r.head] = r.current
+		r.head = (r.head + 1) % len(r.slots)
+		if r.filled < len(r.slots) {
+			r.filled++
+		}
+		r.current = 0
+		r.slotStart += r.slotSeconds
+		// If t is far in the future, the intermediate slots are empty;
+		// the loop naturally records zeros for them.
+	}
+}
+
+// Reset clears all recorded events and rewinds the clock to zero.
+func (r *RateEstimator) Reset() {
+	for i := range r.slots {
+		r.slots[i] = 0
+	}
+	r.head, r.filled = 0, 0
+	r.current, r.slotStart, r.now = 0, 0, 0
+}
+
+// IndexOfDispersion measures burstiness of a series of per-interval
+// event counts: variance/mean. A Poisson process has IoD ≈ 1; bursty
+// (MMPP-like) traffic has IoD > 1; CBR traffic has IoD ≈ 0.
+func IndexOfDispersion(counts []float64) float64 {
+	var w Welford
+	for _, c := range counts {
+		w.Add(c)
+	}
+	m := w.Mean()
+	if m == 0 {
+		return 0
+	}
+	return w.PopVariance() / m
+}

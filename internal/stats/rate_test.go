@@ -1,0 +1,95 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestRateEstimatorSteadyRate(t *testing.T) {
+	r := NewRateEstimator(10, 0.1)
+	// 1000 events/s delivered in 10ms ticks of 10 events each.
+	for i := 0; i < 500; i++ {
+		r.Observe(float64(i)*0.01, 10)
+	}
+	got := r.Rate(5.0)
+	if !almostEqual(got, 1000, 0.05) {
+		t.Errorf("rate = %v, want ~1000", got)
+	}
+}
+
+func TestRateEstimatorDecaysAfterSilence(t *testing.T) {
+	r := NewRateEstimator(5, 0.2)
+	for i := 0; i < 100; i++ {
+		r.Observe(float64(i)*0.01, 20) // 2000/s for 1s
+	}
+	busy := r.Rate(1.0)
+	idle := r.Rate(3.0) // 2s of silence flushes the 1s window
+	if idle >= busy/10 {
+		t.Errorf("rate did not decay: busy=%v idle=%v", busy, idle)
+	}
+}
+
+func TestRateEstimatorIgnoresTimeRegression(t *testing.T) {
+	r := NewRateEstimator(4, 0.25)
+	r.Observe(1.0, 5)
+	r.Observe(0.5, 5) // regression: treated as t=1.0
+	if rate := r.Rate(1.0); rate <= 0 {
+		t.Errorf("rate = %v, want > 0", rate)
+	}
+}
+
+func TestRateEstimatorReset(t *testing.T) {
+	r := NewRateEstimator(4, 0.25)
+	r.Observe(0.1, 100)
+	r.Reset()
+	if rate := r.Rate(0); rate != 0 {
+		t.Errorf("rate after reset = %v, want 0", rate)
+	}
+}
+
+func TestRateEstimatorConstructorPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewRateEstimator(0, 1) did not panic")
+		}
+	}()
+	NewRateEstimator(0, 1)
+}
+
+func TestIndexOfDispersion(t *testing.T) {
+	// CBR: identical counts, IoD = 0.
+	cbr := []float64{10, 10, 10, 10, 10}
+	if iod := IndexOfDispersion(cbr); iod != 0 {
+		t.Errorf("CBR IoD = %v, want 0", iod)
+	}
+	// Poisson(λ=50): IoD ≈ 1.
+	rng := rand.New(rand.NewSource(11))
+	poisson := make([]float64, 5000)
+	for i := range poisson {
+		// Knuth's algorithm for small λ.
+		l := math.Exp(-50)
+		k, p := 0, 1.0
+		for p > l {
+			k++
+			p *= rng.Float64()
+		}
+		poisson[i] = float64(k - 1)
+	}
+	if iod := IndexOfDispersion(poisson); iod < 0.8 || iod > 1.2 {
+		t.Errorf("Poisson IoD = %v, want ~1", iod)
+	}
+	// Bursty: alternating silence and bursts, IoD >> 1.
+	bursty := make([]float64, 100)
+	for i := range bursty {
+		if i%10 == 0 {
+			bursty[i] = 500
+		}
+	}
+	if iod := IndexOfDispersion(bursty); iod <= 10 {
+		t.Errorf("bursty IoD = %v, want >> 1", iod)
+	}
+	if IndexOfDispersion(nil) != 0 {
+		t.Error("empty IoD should be 0")
+	}
+}

@@ -1,0 +1,74 @@
+package traffic
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// ParseFrame and VerifyIPv4Checksum must never panic or read out of
+// bounds on arbitrary bytes — the IDS/DPI path feeds them raw frames.
+func TestParseFrameNeverPanics(t *testing.T) {
+	f := func(data []byte) bool {
+		// Must not panic; results are unconstrained.
+		_, _ = ParseFrame(data)
+		_ = VerifyIPv4Checksum(data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Mutating any single byte of a valid header must be caught by the
+// checksum unless the mutation hits the payload (past the IP header)
+// or produces an equivalent checksum (one's-complement ±0 aliasing,
+// which single-byte flips cannot).
+func TestChecksumDetectsHeaderCorruption(t *testing.T) {
+	ft := FiveTuple{
+		SrcIP: [4]byte{10, 0, 0, 1}, DstIP: [4]byte{10, 1, 0, 1},
+		SrcPort: 1234, DstPort: 80, Proto: ProtoUDP,
+	}
+	frame, err := BuildFrame(nil, ft, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(99))
+	const ipStart, ipEnd = 14, 34
+	for trial := 0; trial < 200; trial++ {
+		idx := ipStart + rng.Intn(ipEnd-ipStart)
+		orig := frame[idx]
+		delta := byte(1 + rng.Intn(255))
+		frame[idx] = orig ^ delta
+		if VerifyIPv4Checksum(frame) && frame[idx] != orig {
+			// One's-complement sums have a known aliasing class:
+			// 0x00 and 0xff bytes in the same sum position. Exclude
+			// exactly that case.
+			if !(orig == 0x00 && frame[idx] == 0xff || orig == 0xff && frame[idx] == 0x00) {
+				t.Fatalf("corruption at byte %d (%#x->%#x) passed checksum", idx, orig, frame[idx])
+			}
+		}
+		frame[idx] = orig
+	}
+	if !VerifyIPv4Checksum(frame) {
+		t.Fatal("restored frame no longer validates")
+	}
+}
+
+// Truncating a valid frame anywhere must produce an error, never a
+// bogus five-tuple read past the end.
+func TestParseFrameTruncation(t *testing.T) {
+	ft := FiveTuple{SrcPort: 9, DstPort: 9, Proto: ProtoTCP}
+	frame, err := BuildFrame(nil, ft, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < 42; cut++ {
+		if _, err := ParseFrame(frame[:cut]); err == nil {
+			t.Fatalf("truncated frame of %d bytes parsed", cut)
+		}
+	}
+	if _, err := ParseFrame(frame[:42]); err != nil {
+		t.Fatalf("minimal complete frame rejected: %v", err)
+	}
+}
