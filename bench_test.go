@@ -98,6 +98,20 @@ func BenchmarkFig06TrainMaxThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkFig06TrainParallel is the same training run with the
+// concurrent Ape-X mode (actor goroutines + batched learner) instead
+// of the deterministic round-robin interleaving; on multi-core
+// machines actor time overlaps learner time.
+func BenchmarkFig06TrainParallel(b *testing.B) {
+	o := benchOptions()
+	o.ParallelTrain = true
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.Fig6(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkFig07TrainMinEnergy(b *testing.B) {
 	o := benchOptions()
 	for i := 0; i < b.N; i++ {

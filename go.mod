@@ -1,0 +1,3 @@
+module greennfv
+
+go 1.24

@@ -164,6 +164,10 @@ type TrainOptions struct {
 	Steps int
 	// Actors is the Ape-X worker count (default 4).
 	Actors int
+	// Parallel trains with concurrent actor goroutines (fast,
+	// non-deterministic) instead of the reproducible round-robin
+	// interleaving.
+	Parallel bool
 }
 
 // Policy is a trained GreenNFV controller bound to its SLA.
@@ -182,6 +186,7 @@ func (s *System) Train(agreement SLA, opts TrainOptions) (*Policy, error) {
 		actors = 4
 	}
 	g := control.NewGreenNFV(agreement.spec, opts.Steps, actors, s.cfg.Seed)
+	g.Parallel = opts.Parallel
 	if err := g.Prepare(s.factory(agreement.spec)); err != nil {
 		return nil, err
 	}

@@ -24,6 +24,9 @@ type GreenNFV struct {
 	Actors int
 	// Seed fixes training randomness.
 	Seed int64
+	// Parallel trains with concurrent actor goroutines instead of the
+	// deterministic round-robin interleaving (see apex.TrainerConfig).
+	Parallel bool
 
 	trainer *apex.Trainer
 	// agent is the deployed policy network: the learner's agent
@@ -62,6 +65,7 @@ func (g *GreenNFV) Prepare(factory EnvFactory) error {
 	if g.Actors > 0 {
 		cfg.Actors = g.Actors
 	}
+	cfg.Parallel = g.Parallel
 	cfg.EnvFactory = func(actorID int) (*env.Env, error) {
 		return factory(g.Seed+int64(actorID)*131, g.Options())
 	}

@@ -118,6 +118,11 @@ type Options struct {
 	ControlSteps int
 	// Seed fixes all randomness.
 	Seed int64
+	// ParallelTrain runs Ape-X training with concurrent actor
+	// goroutines (fast, non-deterministic) instead of the default
+	// reproducible round-robin interleaving. Recorded EXPERIMENTS.md
+	// results use the deterministic mode.
+	ParallelTrain bool
 }
 
 // Quick returns budgets for fast smoke runs.

@@ -16,6 +16,7 @@ func trainCurve(id, title string, s sla.SLA, o Options) (*Table, *control.GreenN
 		return nil, nil, err
 	}
 	g := control.NewGreenNFV(s, o.TrainSteps, o.Actors, o.Seed)
+	g.Parallel = o.ParallelTrain
 	if err := g.Prepare(Factory(s)); err != nil {
 		return nil, nil, err
 	}

@@ -62,6 +62,10 @@ func (a *Adam) Step(n *Network) {
 		if norm > a.ClipNorm {
 			scale := a.ClipNorm / norm
 			for i := range grads {
+				if useSIMD && len(grads[i]) > 0 {
+					scaleasm(scale, &grads[i][0], len(grads[i]))
+					continue
+				}
 				for j := range grads[i] {
 					grads[i][j] *= scale
 				}
@@ -73,6 +77,12 @@ func (a *Adam) Step(n *Network) {
 	b2c := 1 - math.Pow(a.Beta2, float64(a.t))
 	for i := range params {
 		p, g, m, v := params[i], grads[i], a.m[i], a.v[i]
+		if useSIMD && len(p) > 0 {
+			// Vectorized update, bit-identical to the loop below.
+			adamasm(&p[0], &g[0], &m[0], &v[0], len(p),
+				a.Beta1, a.Beta2, a.LR, a.Epsilon, b1c, b2c)
+			continue
+		}
 		for j := range p {
 			m[j] = a.Beta1*m[j] + (1-a.Beta1)*g[j]
 			v[j] = a.Beta2*v[j] + (1-a.Beta2)*g[j]*g[j]

@@ -93,6 +93,12 @@ type Dense struct {
 	dW, dB []float64
 	// forward caches for backprop.
 	x, z, y []float64
+	// dx is the reusable scalar-Backward output buffer.
+	dx []float64
+	// batch-path caches and scratch (see batch.go), lazily sized to
+	// the largest minibatch seen; wt is the transposed weight copy
+	// the batched backward uses for input gradients.
+	bx, bz, by, bdz, bdx, wt []float64
 }
 
 // newDense builds a layer with Xavier/Glorot-uniform weights.
@@ -126,8 +132,16 @@ func (d *Dense) Forward(x []float64) []float64 {
 }
 
 // Backward consumes dL/dy, accumulates dW/dB, and returns dL/dx.
+// The returned slice is owned by the layer and valid until its next
+// Backward call.
 func (d *Dense) Backward(dY []float64) []float64 {
-	dX := make([]float64, d.In)
+	if d.dx == nil {
+		d.dx = make([]float64, d.In)
+	}
+	dX := d.dx
+	for i := range dX {
+		dX[i] = 0
+	}
 	for o := 0; o < d.Out; o++ {
 		dz := dY[o] * d.Act.derivative(d.y[o], d.z[o])
 		d.dB[o] += dz
@@ -144,6 +158,9 @@ func (d *Dense) Backward(dY []float64) []float64 {
 // Network is a feed-forward stack of dense layers.
 type Network struct {
 	layers []*Dense
+	// cached ParamSlices/GradSlices headers (the layer buffers they
+	// point at never move), so optimizer steps don't allocate.
+	pSlices, gSlices [][]float64
 }
 
 // NewMLP builds a multilayer perceptron with the given layer sizes
@@ -223,6 +240,11 @@ func (n *Network) ZeroGrad() {
 // average over a minibatch).
 func (n *Network) ScaleGrad(f float64) {
 	for _, l := range n.layers {
+		if useSIMD {
+			scaleasm(f, &l.dW[0], len(l.dW))
+			scaleasm(f, &l.dB[0], len(l.dB))
+			continue
+		}
 		for i := range l.dW {
 			l.dW[i] *= f
 		}
@@ -235,21 +257,23 @@ func (n *Network) ScaleGrad(f float64) {
 // ParamSlices exposes the parameter buffers (weights then biases,
 // layer by layer) for optimizers and synchronization.
 func (n *Network) ParamSlices() [][]float64 {
-	out := make([][]float64, 0, 2*len(n.layers))
-	for _, l := range n.layers {
-		out = append(out, l.W, l.B)
+	if n.pSlices == nil {
+		for _, l := range n.layers {
+			n.pSlices = append(n.pSlices, l.W, l.B)
+		}
 	}
-	return out
+	return n.pSlices
 }
 
 // GradSlices exposes gradient buffers in the same order as
 // ParamSlices.
 func (n *Network) GradSlices() [][]float64 {
-	out := make([][]float64, 0, 2*len(n.layers))
-	for _, l := range n.layers {
-		out = append(out, l.dW, l.dB)
+	if n.gSlices == nil {
+		for _, l := range n.layers {
+			n.gSlices = append(n.gSlices, l.dW, l.dB)
+		}
 	}
-	return out
+	return n.gSlices
 }
 
 // NumParams reports the total parameter count.
@@ -309,6 +333,11 @@ func (n *Network) SoftUpdate(src *Network, tau float64) error {
 		if len(dst[i]) != len(from[i]) {
 			return errors.New("nn: layer size mismatch")
 		}
+		if useSIMD && len(dst[i]) > 0 {
+			// Vectorized, bit-identical to the loop below.
+			axpbyasm(tau, &from[i][0], &dst[i][0], len(dst[i]))
+			continue
+		}
 		for j := range dst[i] {
 			dst[i][j] = tau*from[i][j] + (1-tau)*dst[i][j]
 		}
@@ -354,6 +383,7 @@ func (n *Network) UnmarshalBinary(data []byte) error {
 		return errors.New("nn: corrupt network state")
 	}
 	n.layers = nil
+	n.pSlices, n.gSlices = nil, nil
 	for i := 0; i < len(st.Sizes)-1; i++ {
 		in, out := st.Sizes[i], st.Sizes[i+1]
 		if len(st.W[i]) != in*out || len(st.B[i]) != out {

@@ -107,11 +107,17 @@ func (l *Learner) PullParams(haveVersion int) (int, []byte, error) {
 }
 
 // LearnStep runs one DDPG update and bumps the parameter version
-// every versionEvery steps. It returns the critic loss.
+// every versionEvery completed updates. It returns the critic loss.
+// A call that could not update (replay below one batch) leaves the
+// version alone, so actors are not rebroadcast identical parameters.
 func (l *Learner) LearnStep(versionEvery int) float64 {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	before := l.agent.LearnSteps()
 	loss := l.agent.Learn()
+	if l.agent.LearnSteps() == before {
+		return loss // no-op: not enough experience yet
+	}
 	if versionEvery <= 0 {
 		versionEvery = 1
 	}

@@ -1,0 +1,113 @@
+package apex
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// runParallel is the concurrent training mode of Horgan et al.: one
+// goroutine per actor steps its private environment and exchanges
+// experience/parameters with the learner through the goroutine-safe
+// Learner (versioned parameter broadcast), while the learner drains
+// its update budget on the shared prioritized replay. Wall-clock
+// time approaches max(actor time, learner time) instead of their sum.
+//
+// The run is NOT deterministic: actor interleaving depends on the
+// scheduler. Figure-quality reproducible runs use round-robin mode.
+func (t *Trainer) runParallel() error {
+	var (
+		steps    atomic.Int64 // environment-step tickets issued
+		stop     atomic.Bool  // set on first error to halt all workers
+		errMu    sync.Mutex
+		firstErr error
+		snapMu   sync.Mutex
+		wg       sync.WaitGroup
+	)
+	total := int64(t.cfg.TotalSteps)
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+		stop.Store(true)
+	}
+
+	// Learner: run the same update budget the round-robin mode would
+	// (LearnPerStep per post-warmup actor step), pacing itself behind
+	// the actors' progress: updates start once warmup has passed AND
+	// the replay holds at least one batch, so the budget is spent on
+	// real gradient steps, not no-op Learn calls against an
+	// under-filled buffer.
+	budget := t.cfg.LearnPerStep * (t.cfg.TotalSteps - t.cfg.WarmupSteps)
+	batch := t.learner.Agent().Config().BatchSize
+	actorsDone := make(chan struct{})
+	learnerDone := make(chan struct{})
+	go func() {
+		defer close(learnerDone)
+		done := 0
+		for done < budget && !stop.Load() {
+			if steps.Load() <= int64(t.cfg.WarmupSteps) ||
+				t.learner.Agent().BufferLen() < batch {
+				select {
+				case <-actorsDone:
+					return // actors finished (or died) without enough data
+				case <-time.After(100 * time.Microsecond):
+				}
+				continue
+			}
+			t.learner.LearnStep(t.cfg.VersionEvery)
+			done++
+			if done%64 == 0 {
+				runtime.Gosched() // let actors at the learner mutex
+			}
+		}
+	}()
+
+	// Actors: claim global step tickets until the budget is spent.
+	// Actor 0 also records training snapshots (it owns its env, so
+	// reading the knobs is race-free).
+	for _, actor := range t.actors {
+		wg.Add(1)
+		go func(a *Actor) {
+			defer wg.Done()
+			var lastSnap int64
+			for !stop.Load() {
+				n := steps.Add(1)
+				if n > total {
+					steps.Add(-1)
+					return
+				}
+				reward, info, err := a.Step(t.learner)
+				if err != nil {
+					fail(fmt.Errorf("apex: actor %d: %w", a.ID, err))
+					return
+				}
+				if a.ID == 0 && t.cfg.SnapshotEvery > 0 && n >= lastSnap+int64(t.cfg.SnapshotEvery) {
+					lastSnap = n - n%int64(t.cfg.SnapshotEvery)
+					snap := SnapshotOf(int(n), a.Env(), info, reward)
+					snapMu.Lock()
+					t.Snapshots = append(t.Snapshots, snap)
+					snapMu.Unlock()
+				}
+				// Yield so every actor gets tickets even on a single
+				// core (otherwise one goroutine can drain the whole
+				// budget between preemption points).
+				runtime.Gosched()
+			}
+		}(actor)
+	}
+
+	wg.Wait()
+	close(actorsDone)
+	<-learnerDone
+	if n := steps.Load(); n > total {
+		t.steps = int(total)
+	} else {
+		t.steps = int(n)
+	}
+	return firstErr
+}

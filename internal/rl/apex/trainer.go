@@ -75,6 +75,13 @@ type TrainerConfig struct {
 	// BaseSigma is actor 0's OU noise; each additional actor gets
 	// progressively more exploration (Ape-X's per-actor epsilon).
 	BaseSigma float64
+	// Parallel selects truly concurrent training — actor goroutines
+	// stepping their own environments while the learner runs batched
+	// updates, the architecture of Horgan et al. — instead of the
+	// deterministic round-robin interleaving. Round-robin remains the
+	// default: it is reproducible, which tests and recorded figures
+	// rely on.
+	Parallel bool
 	// EnvFactory builds one environment per actor (distinct seeds).
 	EnvFactory func(actorID int) (*env.Env, error)
 	// AgentConfig templates the learner and actor networks; state
@@ -172,10 +179,19 @@ func (t *Trainer) Learner() *Learner { return t.learner }
 // Actors exposes the actor pool.
 func (t *Trainer) Actors() []*Actor { return t.actors }
 
-// Run executes the configured number of steps round-robin across
-// actors (deterministic and single-threaded, which suits both tests
-// and the figure harness), recording snapshots from actor 0.
+// Run executes the configured number of steps, either deterministic
+// round-robin (default) or truly concurrent (cfg.Parallel), recording
+// snapshots from actor 0.
 func (t *Trainer) Run() error {
+	if t.cfg.Parallel {
+		return t.runParallel()
+	}
+	return t.runRoundRobin()
+}
+
+// runRoundRobin interleaves actors single-threaded — deterministic,
+// which suits both tests and the figure harness.
+func (t *Trainer) runRoundRobin() error {
 	var last0 perfmodel.Result
 	var lastR0 float64
 	have0 := false

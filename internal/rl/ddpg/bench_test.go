@@ -1,0 +1,40 @@
+package ddpg
+
+import (
+	"math/rand"
+	"testing"
+
+	"greennfv/internal/rl/replay"
+)
+
+// BenchmarkAgentLearn measures one batched DDPG update at the
+// GreenNFV problem size (12-dim state, 15-dim action, 48×48 hidden,
+// batch 32) with a warm replay buffer. The steady state should not
+// allocate.
+func BenchmarkAgentLearn(b *testing.B) {
+	cfg := DefaultConfig(12, 15)
+	a, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 4*cfg.BatchSize; i++ {
+		s := make([]float64, 12)
+		act := make([]float64, 15)
+		ns := make([]float64, 12)
+		for j := range s {
+			s[j] = rng.NormFloat64()
+			ns[j] = rng.NormFloat64()
+		}
+		for j := range act {
+			act[j] = 2*rng.Float64() - 1
+		}
+		a.Observe(replay.Transition{State: s, Action: act, Reward: rng.NormFloat64(), NextState: ns})
+	}
+	a.Learn() // warm the scratch buffers
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Learn()
+	}
+}

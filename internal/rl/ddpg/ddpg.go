@@ -139,6 +139,41 @@ type Agent struct {
 	learnSteps int
 	// scratch buffers to avoid per-step garbage.
 	saBuf []float64
+	// minibatch scratch, sized on first Learn and reused forever:
+	// sample buffers and the row-major matrices fed to the batched
+	// network passes.
+	batchBuf    []replay.Transition
+	idxBuf      []int
+	weightBuf   []float64
+	bStates     []float64 // BatchSize × StateDim
+	bNextStates []float64 // BatchSize × StateDim
+	bSA         []float64 // BatchSize × (StateDim+ActionDim)
+	bNextSA     []float64 // BatchSize × (StateDim+ActionDim)
+	bY          []float64 // BatchSize targets
+	bDQ         []float64 // BatchSize dL/dQ
+	bDAct       []float64 // BatchSize × ActionDim
+	tdErrBuf    []float64 // BatchSize TD errors for priority updates
+}
+
+// growScratch sizes the minibatch scratch buffers once.
+func (a *Agent) growScratch() {
+	if a.bStates != nil {
+		return
+	}
+	n, S, A := a.cfg.BatchSize, a.cfg.StateDim, a.cfg.ActionDim
+	a.batchBuf = make([]replay.Transition, 0, n)
+	if a.prioritized != nil {
+		a.idxBuf = make([]int, 0, n)
+		a.weightBuf = make([]float64, 0, n)
+	}
+	a.bStates = make([]float64, n*S)
+	a.bNextStates = make([]float64, n*S)
+	a.bSA = make([]float64, n*(S+A))
+	a.bNextSA = make([]float64, n*(S+A))
+	a.bY = make([]float64, n)
+	a.bDQ = make([]float64, n)
+	a.bDAct = make([]float64, n*A)
+	a.tdErrBuf = make([]float64, n)
 }
 
 // New builds an agent from a validated configuration.
@@ -260,6 +295,10 @@ func (a *Agent) TDError(t replay.Transition) float64 {
 // along the critic's action-gradient, and soft-update both targets.
 // It returns the mean critic loss, or 0 when the buffer has fewer
 // than BatchSize samples.
+//
+// All three network passes (critic target, critic regression, actor
+// ascent) run batched over row-major [BatchSize × dim] matrices with
+// agent-owned scratch, so the steady state allocates nothing.
 func (a *Agent) Learn() float64 {
 	var batch []replay.Transition
 	var indices []int
@@ -268,61 +307,93 @@ func (a *Agent) Learn() float64 {
 		if a.prioritized.Len() < a.cfg.BatchSize {
 			return 0
 		}
-		batch, indices, weights = a.prioritized.Sample(a.rng, a.cfg.BatchSize)
+		a.growScratch()
+		batch, indices, weights = a.prioritized.SampleInto(
+			a.rng, a.cfg.BatchSize, a.batchBuf, a.idxBuf, a.weightBuf)
+		a.batchBuf, a.idxBuf, a.weightBuf = batch, indices, weights
 	} else {
 		if a.uniform.Len() < a.cfg.BatchSize {
 			return 0
 		}
-		batch = a.uniform.Sample(a.rng, a.cfg.BatchSize)
+		a.growScratch()
+		batch = a.uniform.SampleInto(a.rng, a.cfg.BatchSize, a.batchBuf)
+		a.batchBuf = batch
 	}
 	if len(batch) == 0 {
 		return 0
 	}
 
-	n := float64(len(batch))
-	// Critic update: minimize Σ w_i (y_i − Q(s_i, a_i))².
-	a.Critic.ZeroGrad()
-	var loss float64
-	tdErrs := make([]float64, len(batch))
+	n := len(batch)
+	S, A := a.cfg.StateDim, a.cfg.ActionDim
+	SA := S + A
+
+	// Assemble the minibatch matrices: states, next states, (state,
+	// action) pairs, and the state columns of the target critic input
+	// (its action columns are filled from the target actor below).
+	for i, t := range batch {
+		copy(a.bStates[i*S:(i+1)*S], t.State)
+		copy(a.bNextStates[i*S:(i+1)*S], t.NextState)
+		copy(a.bSA[i*SA:], t.State)
+		copy(a.bSA[i*SA+S:(i+1)*SA], t.Action)
+		copy(a.bNextSA[i*SA:], t.NextState)
+	}
+
+	// Bootstrapped targets y_i = r_i + γ Q'(s', μ'(s')).
+	nextA := a.actorTarget.ForwardBatch(a.bNextStates, n)
+	for i := 0; i < n; i++ {
+		copy(a.bNextSA[i*SA+S:(i+1)*SA], nextA[i*A:(i+1)*A])
+	}
+	qNext := a.criticTarget.ForwardBatch(a.bNextSA, n)
 	for i, t := range batch {
 		y := t.Reward
 		if !t.Done {
-			nextA := a.actorTarget.Forward(t.NextState)
-			qNext := a.criticTarget.Forward(concat(a.saBuf[:0], t.NextState, nextA))
-			y += a.cfg.Gamma * qNext[0]
+			y += a.cfg.Gamma * qNext[i]
 		}
-		q := a.Critic.Forward(concat(a.saBuf[:0], t.State, t.Action))
-		diff := q[0] - y
-		tdErrs[i] = -diff
+		a.bY[i] = y
+	}
+
+	// Critic update: minimize Σ w_i (y_i − Q(s_i, a_i))².
+	q := a.Critic.ForwardBatch(a.bSA, n)
+	var loss float64
+	for i := range batch {
+		diff := q[i] - a.bY[i]
+		a.tdErrBuf[i] = -diff
 		w := 1.0
 		if weights != nil {
 			w = weights[i]
 		}
 		loss += w * diff * diff
-		a.Critic.Backward([]float64{w * diff})
-	}
-	a.Critic.ScaleGrad(1 / n)
-	a.criticOpt.Step(a.Critic)
-	loss /= n
-
-	if a.prioritized != nil {
-		a.prioritized.UpdatePriorities(indices, tdErrs)
-	}
-
-	// Actor update: ascend E[Q(s, μ(s))] — equation 6. For each
-	// sample, push dQ/da back through the critic (without applying
-	// critic gradients) and then through the actor.
-	a.Actor.ZeroGrad()
-	for _, t := range batch {
-		action := a.Actor.Forward(t.State)
-		a.Critic.ZeroGrad() // discard critic grads from this pass
-		a.Critic.Forward(concat(a.saBuf[:0], t.State, action))
-		dInput := a.Critic.Backward([]float64{-1}) // ascend Q
-		dAction := dInput[a.cfg.StateDim:]
-		a.Actor.Backward(dAction)
+		a.bDQ[i] = w * diff
 	}
 	a.Critic.ZeroGrad()
-	a.Actor.ScaleGrad(1 / n)
+	a.Critic.BackwardBatchParams(a.bDQ, n)
+	a.Critic.ScaleGrad(1 / float64(n))
+	a.criticOpt.Step(a.Critic)
+	loss /= float64(n)
+
+	if a.prioritized != nil {
+		a.prioritized.UpdatePriorities(indices, a.tdErrBuf[:n])
+	}
+
+	// Actor update: ascend E[Q(s, μ(s))] — equation 6. Push dQ/da
+	// back through the critic and through the actor in one batched
+	// pass each; BackwardBatchInput leaves the critic's own gradients
+	// untouched, so no ZeroGrad bookkeeping is needed around it.
+	actions := a.Actor.ForwardBatch(a.bStates, n)
+	for i := 0; i < n; i++ {
+		copy(a.bSA[i*SA+S:(i+1)*SA], actions[i*A:(i+1)*A]) // states already in place
+	}
+	a.Critic.ForwardBatch(a.bSA, n)
+	for i := 0; i < n; i++ {
+		a.bDQ[i] = -1 // ascend Q
+	}
+	dInput := a.Critic.BackwardBatchInput(a.bDQ, n)
+	for i := 0; i < n; i++ {
+		copy(a.bDAct[i*A:(i+1)*A], dInput[i*SA+S:(i+1)*SA])
+	}
+	a.Actor.ZeroGrad()
+	a.Actor.BackwardBatchParams(a.bDAct, n)
+	a.Actor.ScaleGrad(1 / float64(n))
 	a.actorOpt.Step(a.Actor)
 
 	// Target network soft updates.

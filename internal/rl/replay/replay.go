@@ -60,16 +60,26 @@ func (u *Uniform) Len() int {
 // Sample draws n transitions uniformly with replacement. It returns
 // fewer than n only when the buffer is empty.
 func (u *Uniform) Sample(rng *rand.Rand, n int) []Transition {
+	if n <= 0 {
+		return nil
+	}
+	return u.SampleInto(rng, n, make([]Transition, 0, n))
+}
+
+// SampleInto is Sample without per-call allocation: samples are
+// appended to dst (truncated to length zero first), which should
+// have capacity n to stay allocation-free.
+func (u *Uniform) SampleInto(rng *rand.Rand, n int, dst []Transition) []Transition {
 	u.mu.Lock()
 	defer u.mu.Unlock()
 	if u.count == 0 || n <= 0 {
 		return nil
 	}
-	out := make([]Transition, n)
+	dst = dst[:0]
 	for i := 0; i < n; i++ {
-		out[i] = u.buf[rng.Intn(u.count)]
+		dst = append(dst, u.buf[rng.Intn(u.count)])
 	}
-	return out
+	return dst
 }
 
 // sumTree is a complete binary tree whose leaves hold priorities and
@@ -166,17 +176,25 @@ func (p *Prioritized) Len() int {
 // Add stores a transition at maximal priority so every experience is
 // replayed at least once (the standard PER bootstrap).
 func (p *Prioritized) Add(t Transition) {
-	p.AddWithPriority(t, p.maxPrior)
+	p.mu.Lock()
+	p.addLocked(t, p.maxPrior)
+	p.mu.Unlock()
 }
 
 // AddWithPriority stores a transition with an explicit priority —
 // Ape-X actors compute initial priorities locally from their own TD
 // estimates so fresh experience competes immediately.
 func (p *Prioritized) AddWithPriority(t Transition, priority float64) {
+	p.mu.Lock()
+	p.addLocked(t, priority)
+	p.mu.Unlock()
+}
+
+// addLocked stores a transition. Caller holds mu.
+func (p *Prioritized) addLocked(t Transition, priority float64) {
 	if priority <= 0 || math.IsNaN(priority) {
 		priority = p.eps
 	}
-	p.mu.Lock()
 	if priority > p.maxPrior {
 		p.maxPrior = priority
 	}
@@ -186,7 +204,6 @@ func (p *Prioritized) AddWithPriority(t Transition, priority float64) {
 	if p.count < len(p.data) {
 		p.count++
 	}
-	p.mu.Unlock()
 }
 
 // Sample draws n transitions by priority. It returns the samples,
@@ -194,6 +211,18 @@ func (p *Prioritized) AddWithPriority(t Transition, priority float64) {
 // importance-sampling weights. Fewer than n are returned only when
 // the buffer is empty.
 func (p *Prioritized) Sample(rng *rand.Rand, n int) ([]Transition, []int, []float64) {
+	if n <= 0 {
+		return nil, nil, nil
+	}
+	return p.SampleInto(rng, n,
+		make([]Transition, 0, n), make([]int, 0, n), make([]float64, 0, n))
+}
+
+// SampleInto is Sample without per-call allocation: results are
+// appended to the provided slices (truncated to length zero first),
+// which should have capacity n to stay allocation-free. The learner's
+// batched update path reuses one set of buffers across its whole run.
+func (p *Prioritized) SampleInto(rng *rand.Rand, n int, samples []Transition, indices []int, weights []float64) ([]Transition, []int, []float64) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.count == 0 || n <= 0 {
@@ -203,9 +232,7 @@ func (p *Prioritized) Sample(rng *rand.Rand, n int) ([]Transition, []int, []floa
 	if total <= 0 {
 		return nil, nil, nil
 	}
-	samples := make([]Transition, 0, n)
-	indices := make([]int, 0, n)
-	weights := make([]float64, 0, n)
+	samples, indices, weights = samples[:0], indices[:0], weights[:0]
 	segment := total / float64(n)
 	maxW := 0.0
 	for i := 0; i < n; i++ {

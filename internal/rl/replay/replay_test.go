@@ -3,6 +3,7 @@ package replay
 import (
 	"math"
 	"math/rand"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -233,5 +234,101 @@ func TestPrioritizedEmptySample(t *testing.T) {
 	rng := rand.New(rand.NewSource(23))
 	if s, _, _ := p.Sample(rng, 5); s != nil {
 		t.Error("sample from empty buffer")
+	}
+}
+
+// TestPrioritizedConcurrent hammers the buffer from concurrent
+// producers (Add/AddWithPriority) and a consumer running
+// Sample/UpdatePriorities — the Ape-X access pattern. It exists to
+// run under -race; correctness checks are minimal.
+func TestPrioritizedConcurrent(t *testing.T) {
+	p, err := NewPrioritized(1024, 0.6, 0.4, 1e-5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 500; i++ {
+				tr := Transition{State: []float64{rng.Float64()}, Action: []float64{1}, Reward: rng.NormFloat64()}
+				if i%2 == 0 {
+					p.Add(tr)
+				} else {
+					p.AddWithPriority(tr, rng.Float64()*3)
+				}
+			}
+		}(int64(w + 1))
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(99))
+		samples := make([]Transition, 0, 16)
+		indices := make([]int, 0, 16)
+		weights := make([]float64, 0, 16)
+		for i := 0; i < 400; i++ {
+			s, idx, w := p.SampleInto(rng, 16, samples, indices, weights)
+			if s == nil {
+				continue
+			}
+			tds := make([]float64, len(idx))
+			for j := range tds {
+				tds[j] = rng.NormFloat64()
+			}
+			p.UpdatePriorities(idx, tds)
+			_ = w
+		}
+	}()
+	wg.Wait()
+	if p.Len() == 0 || p.Len() > 1024 {
+		t.Errorf("buffer len %d after concurrent load", p.Len())
+	}
+}
+
+// SampleInto must not allocate once the caller's buffers are warm.
+func TestSampleIntoZeroAlloc(t *testing.T) {
+	p, err := NewPrioritized(512, 0.6, 0.4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 512; i++ {
+		p.AddWithPriority(Transition{State: []float64{float64(i)}}, rng.Float64())
+	}
+	samples := make([]Transition, 0, 32)
+	indices := make([]int, 0, 32)
+	weights := make([]float64, 0, 32)
+	allocs := testing.AllocsPerRun(20, func() {
+		s, _, _ := p.SampleInto(rng, 32, samples, indices, weights)
+		if len(s) != 32 {
+			t.Fatal("short sample")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("SampleInto allocates %v/op, want 0", allocs)
+	}
+}
+
+// BenchmarkPrioritizedSample measures the learner's sampling hot path
+// (allocation-free via SampleInto) at the default batch size.
+func BenchmarkPrioritizedSample(b *testing.B) {
+	p, err := NewPrioritized(1<<16, 0.6, 0.4, 1e-5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 1<<16; i++ {
+		p.AddWithPriority(Transition{Reward: rng.NormFloat64()}, rng.Float64()*2)
+	}
+	samples := make([]Transition, 0, 32)
+	indices := make([]int, 0, 32)
+	weights := make([]float64, 0, 32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.SampleInto(rng, 32, samples, indices, weights)
 	}
 }
