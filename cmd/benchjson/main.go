@@ -1,0 +1,127 @@
+// Command benchjson converts `go test -bench` text output into a
+// machine-readable JSON summary, so CI can track the per-figure
+// wall-clock trajectory across PRs (BENCH_PR2.json and successors)
+// without parsing benchmark text in shell.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchtime=1x . | go run ./cmd/benchjson -o BENCH_PR2.json
+//	go run ./cmd/benchjson -o BENCH_PR2.json bench.txt
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	Name       string  `json:"name"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	MsPerOp    float64 `json:"ms_per_op"`
+	// Metrics holds b.ReportMetric custom units (e.g. "Gbps",
+	// "MaxT-speedup") and, with -benchmem, B/op and allocs/op.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Summary is the emitted document.
+type Summary struct {
+	GoOS       string      `json:"goos,omitempty"`
+	GoArch     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// benchLine matches "BenchmarkName-8   12   3456 ns/op   <metrics...>";
+// the -N GOMAXPROCS suffix is stripped from the name.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.]+) ns/op(.*)$`)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	in := io.Reader(os.Stdin)
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	sum, err := parse(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	data, err := json.MarshalIndent(sum, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %d benchmarks to %s\n", len(sum.Benchmarks), *out)
+}
+
+func parse(r io.Reader) (*Summary, error) {
+	sum := &Summary{Benchmarks: []Benchmark{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			sum.GoOS = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			sum.GoArch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			sum.CPU = strings.TrimPrefix(line, "cpu: ")
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("line %q: %w", line, err)
+		}
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("line %q: %w", line, err)
+		}
+		b := Benchmark{Name: m[1], Iterations: iters, NsPerOp: ns, MsPerOp: ns / 1e6}
+		// Trailing "<value> <unit>" pairs: custom metrics and -benchmem.
+		fields := strings.Fields(m[4])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			if b.Metrics == nil {
+				b.Metrics = map[string]float64{}
+			}
+			b.Metrics[fields[i+1]] = v
+		}
+		sum.Benchmarks = append(sum.Benchmarks, b)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return sum, nil
+}

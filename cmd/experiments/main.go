@@ -4,10 +4,11 @@
 //
 // Usage:
 //
-//	experiments            # quick budgets, all figures to stdout
-//	experiments -full      # EXPERIMENTS.md budgets
-//	experiments -only fig9 # one experiment
-//	experiments -csv out/  # also write CSV per figure
+//	experiments                  # quick budgets, all figures to stdout
+//	experiments -full            # EXPERIMENTS.md budgets
+//	experiments -only fig9       # one experiment
+//	experiments -csv out/        # also write CSV per figure
+//	experiments -cpuprofile p.pb # profile the figure runs (go tool pprof)
 package main
 
 import (
@@ -16,6 +17,8 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 
 	"greennfv/internal/experiments"
 )
@@ -23,11 +26,46 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("experiments: ")
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
 
+// run carries the whole figure sweep so the profile defers fire on
+// every exit path (log.Fatal in main would skip them).
+func run() error {
 	full := flag.Bool("full", false, "use the Full() budgets recorded in EXPERIMENTS.md")
 	only := flag.String("only", "", "run a single experiment: fig1..fig4, fig6..fig11, ablations")
 	csvDir := flag.String("csv", "", "also write CSV files into this directory")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the figure runs to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile (after GC) to this file on exit")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				log.Printf("memprofile: %v", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // report live heap, not transient garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Printf("memprofile: %v", err)
+			}
+		}()
+	}
 
 	o := experiments.Quick()
 	if *full {
@@ -64,31 +102,32 @@ func main() {
 		}
 		t, err := j.run()
 		if err != nil {
-			log.Fatalf("%s: %v", j.id, err)
+			return fmt.Errorf("%s: %w", j.id, err)
 		}
 		if err := t.Render(os.Stdout); err != nil {
-			log.Fatal(err)
+			return err
 		}
 		if *csvDir != "" {
 			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
-				log.Fatal(err)
+				return err
 			}
 			f, err := os.Create(filepath.Join(*csvDir, t.ID+".csv"))
 			if err != nil {
-				log.Fatal(err)
+				return err
 			}
 			if err := t.WriteCSV(f); err != nil {
 				f.Close()
-				log.Fatal(err)
+				return err
 			}
 			if err := f.Close(); err != nil {
-				log.Fatal(err)
+				return err
 			}
 		}
 		ran++
 	}
 	if ran == 0 {
-		log.Fatalf("no experiment matches -only %q", *only)
+		return fmt.Errorf("no experiment matches -only %q", *only)
 	}
 	fmt.Printf("ran %d experiments\n", ran)
+	return nil
 }

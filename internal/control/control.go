@@ -69,7 +69,9 @@ func Run(c Controller, factory EnvFactory, seed int64, steps, settle int) (avgTp
 // Baseline is the untuned platform: performance governor (max
 // frequency), stock defaults for every other knob, DPDK busy-poll
 // with C-states disabled. It never adapts.
-type Baseline struct{}
+type Baseline struct {
+	knobs []perfmodel.NFKnobs // cached defaults (SetKnobs copies them)
+}
 
 // NewBaseline returns the Baseline controller.
 func NewBaseline() *Baseline { return &Baseline{} }
@@ -87,5 +89,8 @@ func (b *Baseline) Prepare(EnvFactory) error { return nil }
 
 // Step implements Controller: reapply platform defaults.
 func (b *Baseline) Step(e *env.Env) (perfmodel.Result, error) {
-	return e.SetKnobs(perfmodel.DefaultKnobs(e.NumNFs()))
+	if len(b.knobs) != e.NumNFs() {
+		b.knobs = perfmodel.DefaultKnobs(e.NumNFs())
+	}
+	return e.SetKnobs(b.knobs)
 }

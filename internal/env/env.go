@@ -96,15 +96,23 @@ type Config struct {
 }
 
 // Env is a single-node, single-chain environment instance. It is not
-// goroutine-safe; Ape-X actors each own one instance.
+// goroutine-safe; Ape-X actors each own one instance (use VecEnv to
+// step a set of instances as a batch).
 type Env struct {
-	cfg     Config
-	base    perfmodel.Traffic
-	rng     *rand.Rand
-	knobs   []perfmodel.NFKnobs
-	last    perfmodel.Result
-	lastTr  perfmodel.Traffic
-	stepNum int
+	cfg  Config
+	base perfmodel.Traffic
+	src  rand.Source
+	rng  *rand.Rand
+	// defKnobs are the platform defaults pre-clamped to the bounds;
+	// defKnob is the single-NF default DecodeAction freezes against.
+	// Both are computed once at construction so neither Reset nor the
+	// action decode allocates.
+	defKnobs []perfmodel.NFKnobs
+	defKnob  perfmodel.NFKnobs
+	knobs    []perfmodel.NFKnobs
+	last     perfmodel.Result
+	lastTr   perfmodel.Traffic
+	stepNum  int
 }
 
 // New validates the configuration and builds an environment.
@@ -123,6 +131,12 @@ func New(cfg Config) (*Env, error) {
 		return nil, errors.New("env: LoadJitter must be in [0,1)")
 	}
 	e := &Env{cfg: cfg, base: base}
+	e.defKnobs = perfmodel.DefaultKnobs(len(cfg.Chain.NFs))
+	for i := range e.defKnobs {
+		e.defKnobs[i] = cfg.Bounds.Clamp(e.defKnobs[i])
+	}
+	e.defKnob = perfmodel.DefaultKnobs(1)[0]
+	e.knobs = make([]perfmodel.NFKnobs, len(cfg.Chain.NFs))
 	e.Reset(cfg.Seed)
 	return e, nil
 }
@@ -146,17 +160,28 @@ func (e *Env) Bounds() perfmodel.KnobBounds { return e.cfg.Bounds }
 func (e *Env) Chain() perfmodel.ChainSpec { return e.cfg.Chain }
 
 // Reset reseeds the load process, restores default knobs, evaluates
-// once and returns the initial observation.
+// once and returns the initial observation (a fresh slice owned by
+// the caller).
 func (e *Env) Reset(seed int64) []float64 {
-	e.rng = rand.New(rand.NewSource(seed))
-	e.knobs = perfmodel.DefaultKnobs(e.NumNFs())
-	for i := range e.knobs {
-		e.knobs[i] = e.cfg.Bounds.Clamp(e.knobs[i])
+	return e.ResetInto(seed, make([]float64, e.StateDim()))
+}
+
+// ResetInto is Reset with a caller-owned observation buffer (length
+// StateDim): the zero-alloc counterpart, as StepInto is to Step.
+func (e *Env) ResetInto(seed int64, obs []float64) []float64 {
+	if e.src == nil {
+		e.src = rand.NewSource(seed)
+		e.rng = rand.New(e.src)
+	} else {
+		// Reseeding in place reproduces rand.NewSource(seed)'s stream
+		// without re-allocating the source's ~5 KB state table.
+		e.src.Seed(seed)
 	}
+	copy(e.knobs, e.defKnobs)
 	e.stepNum = 0
 	e.lastTr = e.base
 	e.evaluate()
-	return e.observe()
+	return e.ObserveInto(obs)
 }
 
 // Knobs returns a copy of the current knob settings.
@@ -169,7 +194,8 @@ func (e *Env) Knobs() []perfmodel.NFKnobs {
 // SetKnobs installs explicit knob settings (clamped to bounds) and
 // re-evaluates, returning the measurement. Controllers that bypass
 // the action encoding (heuristics, EE-Pstate) drive the environment
-// through this.
+// through this. The returned Result's PerNF aliases environment
+// scratch and is only valid until the next step.
 func (e *Env) SetKnobs(ks []perfmodel.NFKnobs) (perfmodel.Result, error) {
 	if len(ks) != e.NumNFs() {
 		return perfmodel.Result{}, fmt.Errorf("env: %d knob sets for %d NFs", len(ks), e.NumNFs())
@@ -184,9 +210,28 @@ func (e *Env) SetKnobs(ks []perfmodel.NFKnobs) (perfmodel.Result, error) {
 
 // Step applies an action vector in [-1,1]^ActionDim, advances the
 // load process, evaluates, and returns (observation, reward, info).
+// The observation is a fresh slice owned by the caller; the returned
+// Result's PerNF field aliases environment scratch and is only valid
+// until the next step.
 func (e *Env) Step(action []float64) ([]float64, float64, perfmodel.Result, error) {
+	obs := make([]float64, e.StateDim())
+	r, info, err := e.StepInto(action, obs)
+	if err != nil {
+		return nil, 0, perfmodel.Result{}, err
+	}
+	return obs, r, info, nil
+}
+
+// StepInto is Step with a caller-owned observation buffer (length
+// StateDim): it allocates nothing in steady state, which is what the
+// Ape-X actors and VecEnv step through. The returned Result's PerNF
+// aliases environment scratch, valid until the next step.
+func (e *Env) StepInto(action, obs []float64) (float64, perfmodel.Result, error) {
 	if len(action) != e.ActionDim() {
-		return nil, 0, perfmodel.Result{}, fmt.Errorf("env: action dim %d, want %d", len(action), e.ActionDim())
+		return 0, perfmodel.Result{}, fmt.Errorf("env: action dim %d, want %d", len(action), e.ActionDim())
+	}
+	if len(obs) != e.StateDim() {
+		return 0, perfmodel.Result{}, fmt.Errorf("env: obs dim %d, want %d", len(obs), e.StateDim())
 	}
 	for i := 0; i < e.NumNFs(); i++ {
 		e.knobs[i] = e.DecodeAction(action[i*KnobsPerNF : (i+1)*KnobsPerNF])
@@ -195,7 +240,8 @@ func (e *Env) Step(action []float64) ([]float64, float64, perfmodel.Result, erro
 	e.evaluate()
 	e.stepNum++
 	r := e.cfg.SLA.Reward(e.last.ThroughputGbps, e.last.EnergyJoules)
-	return e.observe(), r, e.last, nil
+	e.ObserveInto(obs)
+	return r, e.last, nil
 }
 
 // Last returns the most recent measurement.
@@ -232,7 +278,7 @@ func (e *Env) DecodeAction(a []float64) perfmodel.NFKnobs {
 		DMABytes:    int64(logScale(u(a[3]), float64(b.DMAMin), float64(b.DMAMax))),
 		Batch:       int(math.Round(logScale(u(a[4]), float64(b.BatchMin), float64(b.BatchMax)))),
 	}
-	def := perfmodel.DefaultKnobs(1)[0]
+	def := e.defKnob
 	if e.cfg.FrozenKnobs[0] {
 		k.CPUShare = def.CPUShare
 	}
@@ -277,36 +323,40 @@ func (e *Env) advanceLoad() {
 	}
 }
 
-// evaluate runs the model at the current knobs and load.
+// evaluate runs the model at the current knobs and load, reusing
+// e.last's PerNF scratch so the steady-state step performs no
+// allocations.
 func (e *Env) evaluate() {
 	if e.lastTr.OfferedPPS == 0 {
 		e.lastTr = e.base
 	}
-	res, err := e.cfg.Model.Evaluate(e.cfg.Chain, e.knobs, e.lastTr, e.cfg.Options)
-	if err != nil {
+	if err := e.cfg.Model.EvaluateInto(&e.last, e.cfg.Chain, e.knobs, e.lastTr, e.cfg.Options); err != nil {
 		// Inputs are clamped and validated at construction; a model
 		// error here is a programming bug.
 		panic(fmt.Sprintf("env: evaluate: %v", err))
 	}
-	e.last = res
 }
 
-// observe builds the paper's state vector: per NF, normalized
-// {throughput, energy, CPU utilization, arrival rate}.
-func (e *Env) observe() []float64 {
-	out := make([]float64, 0, e.StateDim())
+// ObserveInto writes the paper's state vector — per NF, normalized
+// {throughput, energy, CPU utilization, arrival rate} — into dst,
+// which must have length StateDim (a buffer of the wrong size is a
+// programming error and panics), and returns dst.
+func (e *Env) ObserveInto(dst []float64) []float64 {
+	if len(dst) != e.StateDim() {
+		panic(fmt.Sprintf("env: ObserveInto buffer len %d, want %d", len(dst), e.StateDim()))
+	}
 	n := float64(e.NumNFs())
+	j := 0
 	for i := 0; i < e.NumNFs(); i++ {
 		busy := 0.0
 		if i < len(e.last.PerNF) {
 			busy = e.last.PerNF[i].BusyCores
 		}
-		out = append(out,
-			e.last.ThroughputGbps/10,
-			e.last.EnergyJoules/(3300*n), // per-NF energy share
-			busy/4,
-			e.lastTr.OfferedPPS/15e6,
-		)
+		dst[j] = e.last.ThroughputGbps / 10
+		dst[j+1] = e.last.EnergyJoules / (3300 * n) // per-NF energy share
+		dst[j+2] = busy / 4
+		dst[j+3] = e.lastTr.OfferedPPS / 15e6
+		j += StatePerNF
 	}
-	return out
+	return dst
 }

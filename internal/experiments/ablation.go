@@ -1,8 +1,6 @@
 package experiments
 
 import (
-	"fmt"
-
 	"greennfv/internal/env"
 	"greennfv/internal/perfmodel"
 	"greennfv/internal/rl/apex"
@@ -62,11 +60,17 @@ func AblationPER(o Options) (*Table, error) {
 	if err := o.Validate(); err != nil {
 		return nil, err
 	}
-	per, err := trainEESingle(o, true)
-	if err != nil {
-		return nil, err
-	}
-	uni, err := trainEESingle(o, false)
+	// The two arms are independent trainings; run them concurrently.
+	var per, uni float64
+	err := forEach(2, batchWorkers(), func(i int) error {
+		var err error
+		if i == 0 {
+			per, err = trainEESingle(o, true)
+		} else {
+			uni, err = trainEESingle(o, false)
+		}
+		return err
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -146,12 +150,18 @@ func AblationActors(o Options) (*Table, error) {
 		Title:   "Ape-X actor-count scaling (fixed total steps)",
 		Columns: []string{"actors", "efficiency"},
 	}
-	for _, actors := range []int{1, 2, 4, 8} {
-		eff, _, err := trainEE(o, actors, true, [env.KnobsPerNF]bool{}, sla.NewEnergyEfficiency())
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(fmt.Sprintf("%d", actors), f2(eff))
+	counts := []int{1, 2, 4, 8}
+	effs := make([]float64, len(counts))
+	err := forEach(len(counts), batchWorkers(), func(i int) error {
+		eff, _, err := trainEE(o, counts[i], true, [env.KnobsPerNF]bool{}, sla.NewEnergyEfficiency())
+		effs[i] = eff
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, actors := range counts {
+		t.AddRow(itoa(actors), f2(effs[i]))
 	}
 	return t, nil
 }
@@ -168,19 +178,25 @@ func AblationKnobs(o Options) (*Table, error) {
 		Title:   "Knob contribution: efficiency with each knob frozen at defaults",
 		Columns: []string{"frozen knob", "efficiency", "vs all-tunable"},
 	}
-	full, _, err := trainEE(o, o.Actors, true, [env.KnobsPerNF]bool{}, sla.NewEnergyEfficiency())
+	// Arm 0 is the all-tunable reference; arms 1..5 freeze one knob
+	// each. All six trainings are independent, so they share the pool.
+	effs := make([]float64, env.KnobsPerNF+1)
+	err := forEach(len(effs), batchWorkers(), func(i int) error {
+		var frozen [env.KnobsPerNF]bool
+		if i > 0 {
+			frozen[i-1] = true
+		}
+		eff, _, err := trainEE(o, o.Actors, true, frozen, sla.NewEnergyEfficiency())
+		effs[i] = eff
+		return err
+	})
 	if err != nil {
 		return nil, err
 	}
+	full := effs[0]
 	t.AddRow("(none)", f2(full), "100%")
 	for i := 0; i < env.KnobsPerNF; i++ {
-		var frozen [env.KnobsPerNF]bool
-		frozen[i] = true
-		eff, _, err := trainEE(o, o.Actors, true, frozen, sla.NewEnergyEfficiency())
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(names[i], f2(eff), fmt.Sprintf("%.0f%%", eff/full*100))
+		t.AddRow(names[i], f2(effs[i+1]), f0(effs[i+1]/full*100)+"%")
 	}
 	return t, nil
 }
@@ -204,16 +220,21 @@ func AblationReward(o Options) (*Table, error) {
 		Title:   "Hard-constraint (paper) vs penalty-shaped reward, MaxT SLA E<=2000J",
 		Columns: []string{"reward", "Gbps", "Energy J", "violation rate"},
 	}
-	for _, entry := range []struct {
+	entries := []struct {
 		name string
 		s    sla.SLA
-	}{{"hard (paper)", hard}, {"penalty-shaped", shaped}} {
-		_, trainer, err := trainEE(o, o.Actors, true, [env.KnobsPerNF]bool{}, entry.s)
+	}{{"hard (paper)", hard}, {"penalty-shaped", shaped}}
+	type armOut struct {
+		tput, energy, violation float64
+	}
+	outs := make([]armOut, len(entries))
+	err = forEach(len(entries), batchWorkers(), func(i int) error {
+		_, trainer, err := trainEE(o, o.Actors, true, [env.KnobsPerNF]bool{}, entries[i].s)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		snaps := trainer.Snapshots
-		tracker := sla.NewTracker(entry.s)
+		tracker := sla.NewTracker(entries[i].s)
 		var tput, energy float64
 		n := 0
 		for _, sn := range snaps[len(snaps)*3/4:] {
@@ -225,8 +246,14 @@ func AblationReward(o Options) (*Table, error) {
 		if n == 0 {
 			n = 1
 		}
-		t.AddRow(entry.name, f2(tput/float64(n)), f0(energy/float64(n)),
-			fmt.Sprintf("%.2f", tracker.ViolationRate()))
+		outs[i] = armOut{tput / float64(n), energy / float64(n), tracker.ViolationRate()}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, entry := range entries {
+		t.AddRow(entry.name, f2(outs[i].tput), f0(outs[i].energy), f2(outs[i].violation))
 	}
 	return t, nil
 }

@@ -1,9 +1,8 @@
 package experiments
 
 import (
-	"fmt"
-
 	"greennfv/internal/control"
+	"greennfv/internal/env"
 	"greennfv/internal/sla"
 )
 
@@ -44,30 +43,46 @@ func Fig10(o Options) (*Table, error) {
 		{s: minE, c: control.NewGreenNFV(minE, o.TrainSteps, o.Actors, o.Seed+5)},
 	}
 	const intervals = 12 // 120 s at the 10 s window
-	for _, r := range runs {
-		factory := Factory(r.s)
-		if err := r.c.Prepare(factory); err != nil {
-			return nil, err
-		}
-		e, err := factory(o.Seed+42, r.c.Options())
+	// Both deployments — training included — are independent, so each
+	// runs against its own environment through one VecEnv batch. Each
+	// closure touches only index-i state, and the per-run seeds are
+	// unchanged, so the time series match the serial loop exactly.
+	envs := make([]*env.Env, len(runs))
+	for i, r := range runs {
+		e, err := Factory(r.s)(o.Seed+42, r.c.Options())
 		if err != nil {
 			return nil, err
 		}
+		envs[i] = e
+	}
+	vec, err := env.NewVecEnv(envs, batchWorkers())
+	if err != nil {
+		return nil, err
+	}
+	err = vec.Do(func(i int, e *env.Env) error {
+		r := runs[i]
+		if err := r.c.Prepare(Factory(r.s)); err != nil {
+			return err
+		}
 		tracker := sla.NewTracker(r.s)
-		for i := 0; i < intervals; i++ {
+		for j := 0; j < intervals; j++ {
 			res, err := r.c.Step(e)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			tracker.Observe(res.ThroughputGbps, res.EnergyJoules)
 			r.tputs = append(r.tputs, res.ThroughputGbps)
 			r.energys = append(r.energys, res.EnergyJoules)
 			r.oks = append(r.oks, r.s.Satisfied(res.ThroughputGbps, res.EnergyJoules))
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	for i := 0; i < intervals; i++ {
 		t.AddRow(
-			fmt.Sprintf("%d", (i+1)*10),
+			itoa((i+1)*10),
 			f2(runs[0].tputs[i]), f2(runs[0].energys[i]/1000), okMark(runs[0].oks[i]),
 			f2(runs[1].tputs[i]), f2(runs[1].energys[i]/1000), okMark(runs[1].oks[i]),
 		)

@@ -1,0 +1,27 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+
+	"greennfv/internal/pool"
+)
+
+// forEach runs f(0), …, f(n-1) across the shared bounded worker pool
+// (workers <= 0 selects GOMAXPROCS). The figure drivers use it to run
+// independent controller pipelines — each with its own environments,
+// seeds and RNG streams — concurrently: because the pipelines share
+// nothing mutable, the produced rows are identical to the serial loop
+// and only wall-clock changes. Callers communicate results
+// positionally (worker i writes slot i), which preserves row order by
+// construction. Every index runs even if another fails; the error of
+// the lowest failing index is returned.
+func forEach(n, workers int, f func(i int) error) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if i, err := pool.ForEach(n, workers, f); err != nil {
+		return fmt.Errorf("task %d: %w", i, err)
+	}
+	return nil
+}

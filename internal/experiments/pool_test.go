@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+// forEach must visit every index exactly once at any worker count and
+// report the lowest-indexed error deterministically.
+func TestForEach(t *testing.T) {
+	for _, workers := range []int{1, 3, 16} {
+		var visits [37]atomic.Int64
+		err := forEach(len(visits), workers, func(i int) error {
+			visits[i].Add(1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range visits {
+			if visits[i].Load() != 1 {
+				t.Errorf("workers=%d: index %d visited %d times", workers, i, visits[i].Load())
+			}
+		}
+		err = forEach(len(visits), workers, func(i int) error {
+			if i == 5 || i == 30 {
+				return errors.New("boom")
+			}
+			return nil
+		})
+		if err == nil || !strings.HasPrefix(err.Error(), "task 5: ") {
+			t.Errorf("workers=%d: error %v does not report lowest failing task", workers, err)
+		}
+	}
+	if err := forEach(0, 4, func(int) error { return errors.New("never") }); err != nil {
+		t.Errorf("empty forEach errored: %v", err)
+	}
+}
+
+// The strconv-based cell formatters must render byte-identically to
+// the fmt verbs they replaced, or figure output would silently drift.
+func TestCellFormattersMatchFmt(t *testing.T) {
+	check := func(raw float64) bool {
+		v := raw
+		if math.IsNaN(v) {
+			v = 0
+		}
+		return f0(v) == fmt.Sprintf("%.0f", v) &&
+			f1(v) == fmt.Sprintf("%.1f", v) &&
+			f2(v) == fmt.Sprintf("%.2f", v)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+	for _, v := range []float64{0, -0.0, 0.005, 1094.4999, 9.695, math.Inf(1), math.NaN()} {
+		if f2(v) != fmt.Sprintf("%.2f", v) {
+			t.Errorf("f2(%v) = %q, fmt gives %q", v, f2(v), fmt.Sprintf("%.2f", v))
+		}
+	}
+	if itoa(42) != "42" || itoa(-7) != "-7" {
+		t.Error("itoa broken")
+	}
+}

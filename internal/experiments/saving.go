@@ -1,8 +1,6 @@
 package experiments
 
 import (
-	"fmt"
-
 	"greennfv/internal/control"
 	"greennfv/internal/sla"
 )
@@ -22,24 +20,30 @@ func Fig11(o Options) (*Table, error) {
 	}
 	g := control.NewGreenNFV(minE, o.TrainSteps, o.Actors, o.Seed)
 	factory := Factory(minE)
-	if err := g.Prepare(factory); err != nil {
-		return nil, err
-	}
-	// Steady-state powers (watts) of the trained model and the
-	// baseline under the same workload.
-	_, gEnergy, gLast, err := control.Run(g, factory, o.Seed+9, o.ControlSteps, o.ControlSteps/2+1)
-	if err != nil {
-		return nil, err
-	}
-	b := control.NewBaseline()
-	_, bEnergy, _, err := control.Run(b, factory, o.Seed+9, 8, 4)
+	// Steady-state energies of the trained model and the baseline
+	// under the same workload. The two pipelines are independent
+	// (separate controllers, environments and seeds), so they run
+	// concurrently; the numbers are identical to the serial order.
+	var gEnergy, bEnergy float64
+	err = forEach(2, batchWorkers(), func(i int) error {
+		var err error
+		switch i {
+		case 0:
+			if err = g.Prepare(factory); err != nil {
+				return err
+			}
+			_, gEnergy, _, err = control.Run(g, factory, o.Seed+9, o.ControlSteps, o.ControlSteps/2+1)
+		case 1:
+			_, bEnergy, _, err = control.Run(control.NewBaseline(), factory, o.Seed+9, 8, 4)
+		}
+		return err
+	})
 	if err != nil {
 		return nil, err
 	}
 	window := 10.0 // seconds per measurement interval
 	pGreen := gEnergy / window
 	pBase := bEnergy / window
-	_ = gLast
 
 	// Training energy: mean power observed across the recorded
 	// training snapshots, over a nominal half-hour training session
@@ -69,8 +73,7 @@ func Fig11(o Options) (*Table, error) {
 		eBase := pBase * float64(h) * 3600
 		eNF := pGreen*float64(h)*3600 + eTrain
 		saving := (1 - eNF/eBase) * 100
-		t.AddRow(fmt.Sprintf("%d", h), f0(eBase/1000), f0(eNF/1000),
-			fmt.Sprintf("%.1f", saving))
+		t.AddRow(itoa(h), f0(eBase/1000), f0(eNF/1000), f1(saving))
 	}
 	return t, nil
 }

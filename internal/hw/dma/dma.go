@@ -103,21 +103,25 @@ func (b Buffer) DropProbability(arrivalPps, drainPps float64) float64 {
 		return 1 / (k + 1)
 	}
 	// P_drop = (1-rho) rho^k / (1 - rho^(k+1)), stable in log space
-	// for large k.
+	// for large k. rho^(k+1) reuses the rho^k exponentiation — k runs
+	// into the thousands for real buffers, and this sits on the
+	// analytic model's per-evaluation hot path.
 	if rho < 1 {
-		num := (1 - rho) * math.Pow(rho, k)
-		den := 1 - math.Pow(rho, k+1)
+		pk := math.Exp(k * math.Log(rho)) // rho^k; rho in (0,1) so Log is safe
+		num := (1 - rho) * pk
+		den := 1 - pk*rho
 		if den == 0 {
 			return 0
 		}
 		return num / den
 	}
-	// rho > 1: P_drop → 1 − 1/rho for large k.
+	// rho > 1: (rho-1)rho^k/(rho^(k+1)-1) = (1-1/rho)/(1-(1/rho)^{k+1}),
+	// approaching 1 − 1/rho for large k.
 	inv := 1 / rho
-	num := (1 - inv) // (rho-1)/rho
-	den := 1 - math.Pow(inv, k+1)
+	num := 1 - inv
+	den := 1 - math.Exp(k*math.Log(inv))*inv
 	if den == 0 {
 		return 1
 	}
-	return num / den * math.Pow(inv, 0) // (rho-1)rho^k/(rho^(k+1)-1) = (1-1/rho)/(1-(1/rho)^{k+1})
+	return num / den
 }

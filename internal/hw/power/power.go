@@ -77,7 +77,7 @@ func (m Model) Validate() error {
 func (m Model) PMaxAt(f float64) float64 {
 	f = m.ClampFreq(f)
 	ratio := f / m.FMax
-	return m.PIdle + (m.PMax-m.PIdle)*math.Pow(ratio, m.FreqExp)
+	return m.PIdle + (m.PMax-m.PIdle)*powUnit(ratio, m.FreqExp)
 }
 
 // Power reports instantaneous server power at utilization u (clamped
@@ -91,7 +91,19 @@ func (m Model) Power(u, f float64) float64 {
 		u = 1
 	}
 	pmax := m.PMaxAt(f)
-	return (pmax-m.PIdle)*(2*u-math.Pow(u, m.H)) + m.PIdle
+	return (pmax-m.PIdle)*(2*u-powUnit(u, m.H)) + m.PIdle
+}
+
+// powUnit computes x**y for x in [0,1] and y > 0 as Exp(y·Log(x)),
+// roughly half the cost of math.Pow, which must also handle negative
+// bases, integer exponents and subnormal corner cases. Power and
+// PMaxAt sit on the per-evaluation hot path of the analytic model, so
+// both of their exponentiations go through here.
+func powUnit(x, y float64) float64 {
+	if x == 0 || x == 1 {
+		return x
+	}
+	return math.Exp(y * math.Log(x))
 }
 
 // ClampFreq clamps f into the DVFS range.

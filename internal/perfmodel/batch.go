@@ -1,0 +1,73 @@
+package perfmodel
+
+import (
+	"fmt"
+	"runtime"
+
+	"greennfv/internal/pool"
+)
+
+// BatchJob is one evaluation point of a grid sweep: a chain, its
+// per-NF knob settings, the offered traffic, and the platform
+// variant. The figure drivers build one job per table cell and fan
+// them through BatchEvaluate.
+type BatchJob struct {
+	Chain   ChainSpec
+	Knobs   []NFKnobs
+	Traffic Traffic
+	Options EvalOptions
+}
+
+// PreallocResults returns a results slice for the given jobs with
+// every result's PerNF scratch carved out of one contiguous backing
+// array, so a whole grid sweep costs two allocations instead of one
+// per job.
+func PreallocResults(jobs []BatchJob) []Result {
+	total := 0
+	for i := range jobs {
+		total += len(jobs[i].Knobs)
+	}
+	backing := make([]NFResult, total)
+	results := make([]Result, len(jobs))
+	off := 0
+	for i := range jobs {
+		n := len(jobs[i].Knobs)
+		results[i].PerNF = backing[off : off : off+n]
+		off += n
+	}
+	return results
+}
+
+// BatchEvaluate evaluates jobs[i] into results[i], fanning the jobs
+// across the shared bounded worker pool. results must have the same
+// length as jobs; each result's PerNF scratch is reused as in
+// EvaluateInto, so a sweep that recycles its results slice costs one
+// small closure allocation per call and nothing per job. workers <= 0
+// selects GOMAXPROCS; with one worker (or one job) the loop runs
+// inline with no goroutines. Job order is preserved by construction —
+// results[i] always corresponds to jobs[i] — and the outcome is
+// identical to evaluating serially, so callers may treat the worker
+// count purely as a throughput knob.
+//
+// On failure every remaining job is still attempted and the error of
+// the lowest-indexed failing job is returned, making the error
+// deterministic under concurrency.
+func (c *Config) BatchEvaluate(jobs []BatchJob, results []Result, workers int) error {
+	if len(results) != len(jobs) {
+		return fmt.Errorf("perfmodel: %d results for %d jobs", len(results), len(jobs))
+	}
+	if len(jobs) == 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	_, err := pool.ForEach(len(jobs), workers, func(i int) error {
+		j := &jobs[i]
+		if err := c.EvaluateInto(&results[i], j.Chain, j.Knobs, j.Traffic, j.Options); err != nil {
+			return fmt.Errorf("perfmodel: job %d: %w", i, err)
+		}
+		return nil
+	})
+	return err
+}

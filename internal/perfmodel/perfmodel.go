@@ -248,14 +248,28 @@ type EvalOptions struct {
 // Evaluate runs the analytic model for one chain under per-NF knobs.
 // knobs must have one entry per NF in the chain.
 func (c *Config) Evaluate(chain ChainSpec, knobs []NFKnobs, tr Traffic, opt EvalOptions) (Result, error) {
+	var res Result
+	if err := c.EvaluateInto(&res, chain, knobs, tr, opt); err != nil {
+		return Result{}, err
+	}
+	return res, nil
+}
+
+// EvaluateInto is Evaluate with a caller-owned result: the PerNF
+// scratch inside res is reused when its capacity suffices, so a
+// caller that evaluates in a loop (the RL environment, grid sweeps)
+// performs no allocations in steady state. On error res is left in an
+// unspecified state. res must not be shared between goroutines that
+// evaluate concurrently.
+func (c *Config) EvaluateInto(res *Result, chain ChainSpec, knobs []NFKnobs, tr Traffic, opt EvalOptions) error {
 	if len(chain.NFs) == 0 {
-		return Result{}, errors.New("perfmodel: empty chain")
+		return errors.New("perfmodel: empty chain")
 	}
 	if len(knobs) != len(chain.NFs) {
-		return Result{}, fmt.Errorf("perfmodel: %d knob sets for %d NFs", len(knobs), len(chain.NFs))
+		return fmt.Errorf("perfmodel: %d knob sets for %d NFs", len(knobs), len(chain.NFs))
 	}
 	if tr.OfferedPPS < 0 || tr.FrameBytes < traffic.MinFrame {
-		return Result{}, fmt.Errorf("perfmodel: invalid traffic %+v", tr)
+		return fmt.Errorf("perfmodel: invalid traffic %+v", tr)
 	}
 	burst := tr.Burstiness
 	if burst < 0 {
@@ -286,7 +300,7 @@ func (c *Config) Evaluate(chain ChainSpec, knobs []NFKnobs, tr Traffic, opt Eval
 		packetMiss = 1
 	}
 
-	perNF := make([]NFResult, len(chain.NFs))
+	perNF := growNF(res.PerNF, len(chain.NFs))
 	var weightedMiss float64
 	var chainLLCBytes float64
 	for i := range chain.NFs {
@@ -405,7 +419,7 @@ func (c *Config) Evaluate(chain ChainSpec, knobs []NFKnobs, tr Traffic, opt Eval
 	energy := pw * c.WindowSeconds
 
 	gbps := traffic.ThroughputBps(throughput, tr.FrameBytes) / 1e9
-	res := Result{
+	*res = Result{
 		ThroughputPPS:   throughput,
 		ThroughputGbps:  gbps,
 		DropProb:        dropProb,
@@ -421,7 +435,16 @@ func (c *Config) Evaluate(chain ChainSpec, knobs []NFKnobs, tr Traffic, opt Eval
 	if throughput > 0 {
 		res.EnergyPerMPkt = energy / (throughput * c.WindowSeconds / 1e6)
 	}
-	return res, nil
+	return nil
+}
+
+// growNF returns buf resized to n, reallocating only when capacity is
+// insufficient — steady-state EvaluateInto calls never allocate.
+func growNF(buf []NFResult, n int) []NFResult {
+	if cap(buf) >= n {
+		return buf[:n]
+	}
+	return make([]NFResult, n)
 }
 
 // EvaluateUniform applies one knob set to every NF of the chain, the

@@ -1,0 +1,70 @@
+// Package pool is the one bounded worker pool the batch surfaces
+// share: perfmodel.BatchEvaluate, env.VecEnv and the experiments
+// figure drivers all fan independent index-addressed work through
+// ForEach instead of growing private copies of the same scheduling
+// and error-selection logic.
+package pool
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// ForEach runs f(0), …, f(n-1) across a bounded worker pool of the
+// given size; workers <= 1 (or n == 1) degenerates to an inline
+// serial loop that performs no allocations. Every index runs even if
+// another fails, and the reported failure is the one with the lowest
+// index regardless of scheduling, so error behavior is deterministic
+// under concurrency. Returns (-1, nil) on success, else the lowest
+// failing index and its error. Callers communicate results
+// positionally — worker i writes only slot i — which keeps outcomes
+// identical to the serial loop at any worker count.
+func ForEach(n, workers int, f func(i int) error) (int, error) {
+	if n <= 0 {
+		return -1, nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		firstIdx, firstErr := -1, error(nil)
+		for i := 0; i < n; i++ {
+			if err := f(i); err != nil && firstErr == nil {
+				firstIdx, firstErr = i, err
+			}
+		}
+		return firstIdx, firstErr
+	}
+
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstIdx = n
+		firstErr error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= n {
+					return
+				}
+				if err := f(i); err != nil {
+					mu.Lock()
+					if i < firstIdx {
+						firstIdx, firstErr = i, err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstIdx, firstErr
+	}
+	return -1, nil
+}

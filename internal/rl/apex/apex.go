@@ -159,6 +159,7 @@ type Actor struct {
 	agent *ddpg.Agent // local network copy: acting + TD priorities only
 
 	state   []float64
+	obsBuf  []float64 // reused next-observation buffer for StepInto
 	local   []Experience
 	version int
 
@@ -203,6 +204,7 @@ func NewActor(cfg ActorConfig) (*Actor, error) {
 		syncEvery: cfg.SyncEvery,
 	}
 	a.state = cfg.Env.Reset(cfg.AgentConfig.Seed)
+	a.obsBuf = make([]float64, cfg.Env.StateDim())
 	return a, nil
 }
 
@@ -217,7 +219,10 @@ func (a *Actor) Step(learner LearnerAPI) (float64, perfmodel.Result, error) {
 	if err != nil {
 		return 0, perfmodel.Result{}, err
 	}
-	next, reward, info, err := a.env.Step(action)
+	// StepInto reuses the actor's observation buffer; the replay
+	// transition still gets its own copies, which the buffer swap
+	// below cannot invalidate.
+	reward, info, err := a.env.StepInto(action, a.obsBuf)
 	if err != nil {
 		return 0, perfmodel.Result{}, err
 	}
@@ -225,14 +230,14 @@ func (a *Actor) Step(learner LearnerAPI) (float64, perfmodel.Result, error) {
 		State:     append([]float64(nil), a.state...),
 		Action:    action,
 		Reward:    reward,
-		NextState: append([]float64(nil), next...),
+		NextState: append([]float64(nil), a.obsBuf...),
 	}
 	prio := math.Abs(a.agent.TDError(tr))
 	a.local = append(a.local, Experience{
 		State: tr.State, Action: tr.Action, Reward: tr.Reward,
 		NextState: tr.NextState, Priority: prio,
 	})
-	a.state = next
+	a.state, a.obsBuf = a.obsBuf, a.state
 	a.steps++
 
 	if a.steps%a.pushEvery == 0 && len(a.local) > 0 {

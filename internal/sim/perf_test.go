@@ -1,0 +1,100 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"greennfv/internal/traffic"
+)
+
+// The 4-ary heap must pop events in non-decreasing time order for any
+// push/pop interleaving.
+func TestEventHeapOrders(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	var h eventHeap
+	var want []float64
+	for round := 0; round < 50; round++ {
+		pushes := rng.Intn(40)
+		for i := 0; i < pushes; i++ {
+			at := rng.Float64()
+			h.push(event{at: at, nf: int32(i), kind: int32(i % 2)})
+			want = append(want, at)
+		}
+		pops := rng.Intn(len(h.ev) + 1)
+		sort.Float64s(want)
+		last := -1.0
+		for i := 0; i < pops; i++ {
+			ev := h.pop()
+			if ev.at < last {
+				t.Fatalf("round %d: popped %v after %v", round, ev.at, last)
+			}
+			if ev.at != want[i] {
+				t.Fatalf("round %d: popped %v, want %v", round, ev.at, want[i])
+			}
+			last = ev.at
+		}
+		want = want[pops:]
+	}
+}
+
+// The event loop must allocate a fixed amount per Run regardless of
+// how many events it processes: quadrupling the horizon (≈4× the
+// events) must not raise the allocation count beyond heap-array
+// growth noise.
+func TestRunAllocsIndependentOfEvents(t *testing.T) {
+	mk := func(horizon float64) func() {
+		cfg := Config{
+			ServiceNs: []float64{500, 700, 400},
+			Servers:   []int{1, 1, 1},
+			QueueCap:  256,
+			Horizon:   horizon,
+			Seed:      3,
+		}
+		arr, err := traffic.NewPoisson(400e3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return func() {
+			if _, err := Run(cfg, arr); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	short := testing.AllocsPerRun(5, mk(0.01))
+	long := testing.AllocsPerRun(5, mk(0.04))
+	// Identical fixed setup cost (stages, rings, histogram, RNG); the
+	// only growth permitted is the amortized heap-array doubling.
+	if long > short+3 {
+		t.Errorf("allocations grow with event count: %.0f at 0.01s vs %.0f at 0.04s", short, long)
+	}
+}
+
+func BenchmarkSimRun(b *testing.B) {
+	cfg := Config{
+		ServiceNs: []float64{500, 700, 400},
+		Servers:   []int{1, 1, 1},
+		QueueCap:  1024,
+		Horizon:   0.02,
+		Seed:      7,
+	}
+	arr, err := traffic.NewPoisson(1e6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var events int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Run(cfg, arr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// ~4 events per delivered packet (3 stage arrivals + exits).
+		events += res.Delivered * 4
+	}
+	b.StopTimer()
+	if b.N > 0 && events > 0 {
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(events), "ns/event")
+	}
+}
