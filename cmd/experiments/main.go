@@ -9,6 +9,8 @@
 //	experiments -only fig9       # one experiment
 //	experiments -csv out/        # also write CSV per figure
 //	experiments -cpuprofile p.pb # profile the figure runs (go tool pprof)
+//	experiments -sweep           # seed × SLA tier × traffic grid, JSONL
+//	experiments -sweep -sweep-out sweep.jsonl -sweep-parallel
 package main
 
 import (
@@ -21,6 +23,7 @@ import (
 	"runtime/pprof"
 
 	"greennfv/internal/experiments"
+	"greennfv/internal/sweep"
 )
 
 func main() {
@@ -39,6 +42,10 @@ func run() error {
 	csvDir := flag.String("csv", "", "also write CSV files into this directory")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the figure runs to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile (after GC) to this file on exit")
+	runSweep := flag.Bool("sweep", false, "run the seed × SLA tier × traffic-mix grid instead of the figures, one JSON row per cell")
+	sweepOut := flag.String("sweep-out", "", "sweep JSONL output file (default stdout)")
+	sweepParallel := flag.Bool("sweep-parallel", false, "train sweep cells with the concurrent Ape-X pipeline (fast, non-deterministic)")
+	sweepWorkers := flag.Int("sweep-workers", 0, "concurrently running sweep cells (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	if *cpuProfile != "" {
@@ -70,6 +77,34 @@ func run() error {
 	o := experiments.Quick()
 	if *full {
 		o = experiments.Full()
+	}
+
+	if *runSweep {
+		cfg, err := sweep.DefaultConfig(o.TrainSteps, o.Actors, o.ControlSteps)
+		if err != nil {
+			return err
+		}
+		cfg.ParallelTrain = *sweepParallel
+		cfg.Workers = *sweepWorkers
+		results, runErr := sweep.Run(cfg)
+		out := os.Stdout
+		if *sweepOut != "" {
+			f, err := os.Create(*sweepOut)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := sweep.WriteJSONL(out, results); err != nil {
+			return err
+		}
+		if runErr != nil {
+			return runErr
+		}
+		fmt.Fprintf(os.Stderr, "swept %d cells (%d seeds x %d SLA tiers x %d traffic mixes)\n",
+			cfg.Cells(), len(cfg.Seeds), len(cfg.Tiers), len(cfg.Mixes))
+		return nil
 	}
 
 	type job struct {

@@ -164,10 +164,14 @@ type TrainOptions struct {
 	Steps int
 	// Actors is the Ape-X worker count (default 4).
 	Actors int
-	// Parallel trains with concurrent actor goroutines (fast,
+	// Parallel trains with the concurrent Ape-X pipeline — actor
+	// goroutines, sharded replay, prefetched minibatches — (fast,
 	// non-deterministic) instead of the reproducible round-robin
 	// interleaving.
 	Parallel bool
+	// ReplayShards overrides the parallel replay's lock-stripe count
+	// (0 = auto).
+	ReplayShards int
 }
 
 // Policy is a trained GreenNFV controller bound to its SLA.
@@ -187,6 +191,7 @@ func (s *System) Train(agreement SLA, opts TrainOptions) (*Policy, error) {
 	}
 	g := control.NewGreenNFV(agreement.spec, opts.Steps, actors, s.cfg.Seed)
 	g.Parallel = opts.Parallel
+	g.ReplayShards = opts.ReplayShards
 	if err := g.Prepare(s.factory(agreement.spec)); err != nil {
 		return nil, err
 	}

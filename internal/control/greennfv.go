@@ -24,9 +24,13 @@ type GreenNFV struct {
 	Actors int
 	// Seed fixes training randomness.
 	Seed int64
-	// Parallel trains with concurrent actor goroutines instead of the
-	// deterministic round-robin interleaving (see apex.TrainerConfig).
+	// Parallel trains with concurrent actor goroutines and the
+	// prefetching learner pipeline instead of the deterministic
+	// round-robin interleaving (see apex.TrainerConfig).
 	Parallel bool
+	// ReplayShards overrides the parallel mode's replay lock-stripe
+	// count (0 = auto).
+	ReplayShards int
 
 	trainer *apex.Trainer
 	// agent is the deployed policy network: the learner's agent
@@ -66,6 +70,7 @@ func (g *GreenNFV) Prepare(factory EnvFactory) error {
 		cfg.Actors = g.Actors
 	}
 	cfg.Parallel = g.Parallel
+	cfg.ReplayShards = g.ReplayShards
 	cfg.EnvFactory = func(actorID int) (*env.Env, error) {
 		return factory(g.Seed+int64(actorID)*131, g.Options())
 	}

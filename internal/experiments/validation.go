@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"sort"
 
 	"greennfv/internal/perfmodel"
 	"greennfv/internal/placement"
@@ -105,8 +106,15 @@ func ExpConsolidation() (*Table, error) {
 		fmt.Sprintf("%d", sol.NodesUsed),
 		f0(sol.CrossPPS),
 		f0(savedW))
-	for name, nodeIdx := range sol.Assignment {
-		t.AddRow("  "+name, fmt.Sprintf("node %d", nodeIdx), "", "")
+	// Assignment is a map; sorted emission keeps the whole experiment
+	// suite byte-diffable run to run.
+	names := make([]string, 0, len(sol.Assignment))
+	for name := range sol.Assignment {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		t.AddRow("  "+name, fmt.Sprintf("node %d", sol.Assignment[name]), "", "")
 	}
 	return t, nil
 }

@@ -1,0 +1,103 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestBackwardBatchSplitParity verifies the fused backward against
+// the two passes it replaces, bit for bit: parameter gradients from
+// the first half must equal a standalone BackwardBatchParams over
+// that half, and input gradients of the second half must equal a
+// standalone BackwardBatchInput over that half. Halves are multiples
+// of four so every row lands in the same dot4 lane in both runs.
+func TestBackwardBatchSplitParity(t *testing.T) {
+	const half = 8
+	const rows = 2 * half
+	sizes := []int{7, 16, 16, 3}
+
+	build := func() *Network {
+		return MustMLP(sizes, ReLU, Linear, rand.New(rand.NewSource(42)))
+	}
+	rng := rand.New(rand.NewSource(9))
+	x := make([]float64, rows*sizes[0])
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	dY := make([]float64, rows*sizes[len(sizes)-1])
+	for i := range dY {
+		dY[i] = rng.NormFloat64()
+	}
+
+	// Reference pass 1: parameter gradients from the first half.
+	ref := build()
+	ref.ForwardBatch(x[:half*sizes[0]], half)
+	ref.ZeroGrad()
+	ref.BackwardBatchParams(dY[:half*sizes[len(sizes)-1]], half)
+	var refGrads [][]float64
+	for _, g := range ref.GradSlices() {
+		refGrads = append(refGrads, append([]float64(nil), g...))
+	}
+
+	// Reference pass 2: input gradients from the second half.
+	ref2 := build()
+	ref2.ForwardBatch(x[half*sizes[0]:], half)
+	refDX := append([]float64(nil),
+		ref2.BackwardBatchInput(dY[half*sizes[len(sizes)-1]:], half)...)
+
+	// Fused pass over both halves at once.
+	fused := build()
+	fused.ForwardBatch(x, rows)
+	fused.ZeroGrad()
+	dX := fused.BackwardBatchSplit(dY, rows, half)
+
+	for li, g := range fused.GradSlices() {
+		for j := range g {
+			if g[j] != refGrads[li][j] {
+				t.Fatalf("grad slice %d[%d]: fused %v, reference %v", li, j, g[j], refGrads[li][j])
+			}
+		}
+	}
+	in := sizes[0]
+	for i := 0; i < half*in; i++ {
+		if dX[half*in+i] != refDX[i] {
+			t.Fatalf("dX[%d]: fused %v, reference %v", i, dX[half*in+i], refDX[i])
+		}
+	}
+}
+
+// TestBackwardBatchSplitGradRowsClamp: gradRows beyond rows behaves
+// like a full BackwardBatch.
+func TestBackwardBatchSplitGradRowsClamp(t *testing.T) {
+	sizes := []int{4, 8, 2}
+	a := MustMLP(sizes, Tanh, Linear, rand.New(rand.NewSource(3)))
+	b := MustMLP(sizes, Tanh, Linear, rand.New(rand.NewSource(3)))
+	rng := rand.New(rand.NewSource(5))
+	x := make([]float64, 4*4)
+	dY := make([]float64, 4*2)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	for i := range dY {
+		dY[i] = rng.NormFloat64()
+	}
+	a.ForwardBatch(x, 4)
+	a.ZeroGrad()
+	dxa := append([]float64(nil), a.BackwardBatch(dY, 4)...)
+	b.ForwardBatch(x, 4)
+	b.ZeroGrad()
+	dxb := b.BackwardBatchSplit(dY, 4, 99)
+	for i := range dxa {
+		if dxa[i] != dxb[i] {
+			t.Fatalf("dX[%d]: %v vs %v", i, dxa[i], dxb[i])
+		}
+	}
+	ga, gb := a.GradSlices(), b.GradSlices()
+	for li := range ga {
+		for j := range ga[li] {
+			if ga[li][j] != gb[li][j] {
+				t.Fatalf("grad %d[%d]: %v vs %v", li, j, ga[li][j], gb[li][j])
+			}
+		}
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"greennfv/internal/env"
 	"greennfv/internal/perfmodel"
@@ -47,15 +48,18 @@ type LearnerAPI interface {
 	PullParams(haveVersion int) (version int, actorBytes []byte, err error)
 }
 
-// Learner is the central learner process of Algorithm 3.
+// Learner is the central learner process of Algorithm 3. The mutex
+// guards only the parameter broadcast (version + cache); experience
+// ingest goes straight to the goroutine-safe replay buffer, so actors
+// pushing chunks never wait behind a learning step.
 type Learner struct {
 	mu      sync.Mutex
 	agent   *ddpg.Agent
 	version int
 	// cached broadcast of the current actor network.
 	paramCache []byte
-	pushes     int
-	received   int
+	pushes     atomic.Int64
+	received   atomic.Int64
 }
 
 // NewLearner wraps a DDPG agent (which owns the central prioritized
@@ -77,22 +81,39 @@ func NewLearner(agent *ddpg.Agent) (*Learner, error) {
 // Agent exposes the learner's agent (for evaluation after training).
 func (l *Learner) Agent() *ddpg.Agent { return l.agent }
 
-// PushExperience implements LearnerAPI.
+// pushScratch recycles the conversion buffers PushExperience uses to
+// turn Experience chunks into replay transitions plus priorities, so
+// the steady-state ingest path allocates nothing.
+type pushScratch struct {
+	ts []replay.Transition
+	ps []float64
+}
+
+var pushPool = sync.Pool{New: func() any { return &pushScratch{} }}
+
+// PushExperience implements LearnerAPI. The whole chunk lands in the
+// replay buffer through one batched call — with the sharded buffer of
+// the parallel trainer that is a single shard-lock acquire — and the
+// learner mutex is never taken, so concurrent pushes neither serialize
+// each other nor stall behind a learning step.
 func (l *Learner) PushExperience(batch []Experience) error {
-	l.mu.Lock()
-	defer l.mu.Unlock()
+	sc := pushPool.Get().(*pushScratch)
+	sc.ts, sc.ps = sc.ts[:0], sc.ps[:0]
 	for i := range batch {
 		e := &batch[i]
-		l.agent.ObserveWithPriority(replay.Transition{
+		sc.ts = append(sc.ts, replay.Transition{
 			State:     e.State,
 			Action:    e.Action,
 			Reward:    e.Reward,
 			NextState: e.NextState,
 			Done:      e.Done,
-		}, e.Priority)
+		})
+		sc.ps = append(sc.ps, e.Priority)
 	}
-	l.pushes++
-	l.received += len(batch)
+	l.agent.ObserveBatch(sc.ts, sc.ps)
+	pushPool.Put(sc)
+	l.pushes.Add(1)
+	l.received.Add(int64(len(batch)))
 	return nil
 }
 
@@ -132,6 +153,35 @@ func (l *Learner) LearnStep(versionEvery int) float64 {
 	return loss
 }
 
+// LearnBatchStep runs one update on a prefetched minibatch (the
+// parallel pipeline's path). Unlike LearnStep it does not hold the
+// learner mutex during the network update: the networks are touched
+// only from the learner goroutine, and the parameter broadcast —
+// the sole state actors read — is refreshed under the mutex after
+// the update completes.
+func (l *Learner) LearnBatchStep(samples []replay.Transition, indices []int, weights []float64, versionEvery int) float64 {
+	before := l.agent.LearnSteps()
+	loss := l.agent.LearnBatch(samples, indices, weights)
+	if l.agent.LearnSteps() == before {
+		return loss // no-op batch
+	}
+	if versionEvery <= 0 {
+		versionEvery = 1
+	}
+	if l.agent.LearnSteps()%versionEvery == 0 {
+		l.mu.Lock()
+		l.version++
+		err := l.refreshParamCache()
+		l.mu.Unlock()
+		if err != nil {
+			// Serialization of a healthy network cannot fail; treat
+			// it as a programming error.
+			panic(fmt.Sprintf("apex: param cache: %v", err))
+		}
+	}
+	return loss
+}
+
 // refreshParamCache re-serializes the actor. Caller holds mu (or is
 // the constructor).
 func (l *Learner) refreshParamCache() error {
@@ -145,9 +195,7 @@ func (l *Learner) refreshParamCache() error {
 
 // Stats reports how much experience the learner has received.
 func (l *Learner) Stats() (pushes, transitions int) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.pushes, l.received
+	return int(l.pushes.Load()), int(l.received.Load())
 }
 
 // Actor is one NF controller (Algorithm 3's NF_CONTROLLER): it acts

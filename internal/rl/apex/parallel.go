@@ -5,19 +5,65 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
-	"time"
+
+	"greennfv/internal/rl/replay"
 )
 
-// runParallel is the concurrent training mode of Horgan et al.: one
-// goroutine per actor steps its private environment and exchanges
-// experience/parameters with the learner through the goroutine-safe
-// Learner (versioned parameter broadcast), while the learner drains
-// its update budget on the shared prioritized replay. Wall-clock
-// time approaches max(actor time, learner time) instead of their sum.
+// The concurrent training mode of Horgan et al. is a three-stage
+// pipeline over the lock-striped replay buffer:
+//
+//	actors  ── staging chunks ── AddBatch (one shard lock per chunk)
+//	sampler ── SampleInto ──▶ ready channel ──▶ learner (LearnBatch)
+//
+// Actors live here; the sampler/learner half is prefetch.go. The
+// learner never touches a replay mutex actors contend on, so the old
+// poll-and-yield handoff between them is gone.
+
+// defaultReplayShards sizes the lock stripes to the parallelism
+// actually available, clamped to keep per-shard capacity useful.
+func defaultReplayShards() int {
+	shards := runtime.GOMAXPROCS(0)
+	if shards < 2 {
+		shards = 2
+	}
+	if shards > 16 {
+		shards = 16
+	}
+	return shards
+}
+
+// runParallel executes the pipeline: one goroutine per actor steps
+// its private environment and exchanges experience/parameters with
+// the learner, the sampler prefetches minibatches, and the learner
+// drains the same update budget the round-robin mode would spend.
+// Wall-clock time approaches max(actor time, learner time) instead of
+// their sum.
 //
 // The run is NOT deterministic: actor interleaving depends on the
 // scheduler. Figure-quality reproducible runs use round-robin mode.
 func (t *Trainer) runParallel() error {
+	agent := t.learner.Agent()
+	acfg := agent.Config()
+	batch := acfg.BatchSize
+
+	// Install the lock-striped replay while the buffer is still
+	// empty: ingest and sampling then contend on shard locks, never
+	// on one global mutex.
+	if agent.BufferLen() == 0 {
+		shards := t.cfg.ReplayShards
+		if shards <= 0 {
+			shards = defaultReplayShards()
+		}
+		sharded, err := replay.NewSharded(acfg.BufferCap, shards,
+			acfg.PERAlpha, acfg.PERBeta, acfg.PERBetaInc, acfg.Seed)
+		if err != nil {
+			return fmt.Errorf("apex: sharded replay: %w", err)
+		}
+		if err := agent.SetReplay(sharded); err != nil {
+			return fmt.Errorf("apex: sharded replay: %w", err)
+		}
+	}
+
 	var (
 		steps    atomic.Int64 // environment-step tickets issued
 		stop     atomic.Bool  // set on first error to halt all workers
@@ -25,6 +71,7 @@ func (t *Trainer) runParallel() error {
 		firstErr error
 		snapMu   sync.Mutex
 		wg       sync.WaitGroup
+		warmed   atomic.Bool
 	)
 	total := int64(t.cfg.TotalSteps)
 	fail := func(err error) {
@@ -36,36 +83,12 @@ func (t *Trainer) runParallel() error {
 		stop.Store(true)
 	}
 
-	// Learner: run the same update budget the round-robin mode would
-	// (LearnPerStep per post-warmup actor step), pacing itself behind
-	// the actors' progress: updates start once warmup has passed AND
-	// the replay holds at least one batch, so the budget is spent on
-	// real gradient steps, not no-op Learn calls against an
+	// warmReady closes once warmup has passed AND the replay holds at
+	// least one batch: the gate that lets the sampler spend the update
+	// budget on real gradient steps, not no-op draws from an
 	// under-filled buffer.
-	budget := t.cfg.LearnPerStep * (t.cfg.TotalSteps - t.cfg.WarmupSteps)
-	batch := t.learner.Agent().Config().BatchSize
+	warmReady := make(chan struct{})
 	actorsDone := make(chan struct{})
-	learnerDone := make(chan struct{})
-	go func() {
-		defer close(learnerDone)
-		done := 0
-		for done < budget && !stop.Load() {
-			if steps.Load() <= int64(t.cfg.WarmupSteps) ||
-				t.learner.Agent().BufferLen() < batch {
-				select {
-				case <-actorsDone:
-					return // actors finished (or died) without enough data
-				case <-time.After(100 * time.Microsecond):
-				}
-				continue
-			}
-			t.learner.LearnStep(t.cfg.VersionEvery)
-			done++
-			if done%64 == 0 {
-				runtime.Gosched() // let actors at the learner mutex
-			}
-		}
-	}()
 
 	// Actors: claim global step tickets until the budget is spent.
 	// Actor 0 also records training snapshots (it owns its env, so
@@ -86,6 +109,11 @@ func (t *Trainer) runParallel() error {
 					fail(fmt.Errorf("apex: actor %d: %w", a.ID, err))
 					return
 				}
+				if !warmed.Load() && n > int64(t.cfg.WarmupSteps) &&
+					agent.BufferLen() >= batch &&
+					warmed.CompareAndSwap(false, true) {
+					close(warmReady)
+				}
 				if a.ID == 0 && t.cfg.SnapshotEvery > 0 && n >= lastSnap+int64(t.cfg.SnapshotEvery) {
 					lastSnap = n - n%int64(t.cfg.SnapshotEvery)
 					snap := SnapshotOf(int(n), a.Env(), info, reward)
@@ -93,13 +121,22 @@ func (t *Trainer) runParallel() error {
 					t.Snapshots = append(t.Snapshots, snap)
 					snapMu.Unlock()
 				}
-				// Yield so every actor gets tickets even on a single
-				// core (otherwise one goroutine can drain the whole
-				// budget between preemption points).
+				// Cooperative fairness yield, NOT a contention
+				// workaround: actors block on nothing, so on fewer
+				// cores than goroutines one actor would otherwise
+				// burn a whole ~10ms preemption slice claiming
+				// hundreds of tickets, collapsing the per-actor
+				// exploration ladder into single-actor bursts. The
+				// learner pipeline (prefetch.go) blocks on channels
+				// and needs no such yield.
 				runtime.Gosched()
 			}
 		}(actor)
 	}
+
+	learnerDone := t.startLearnerPipeline(agent, batch,
+		t.cfg.LearnPerStep*(t.cfg.TotalSteps-t.cfg.WarmupSteps),
+		&stop, warmReady, actorsDone)
 
 	wg.Wait()
 	close(actorsDone)

@@ -1,0 +1,78 @@
+package apex
+
+import (
+	"math/rand"
+	"sync/atomic"
+
+	"greennfv/internal/rl/ddpg"
+	"greennfv/internal/rl/replay"
+)
+
+// This file is the learner half of the parallel pipeline: a sampler
+// goroutine prefetches the next minibatch from the sharded replay
+// while the learner consumes the current one. Every stage blocks on
+// channels — the polling loop and scheduler-yield handoff the
+// pre-pipeline learner needed to let actors at the replay mutex are
+// gone, and TestNoBusyWaitInParallel keeps them out of this file.
+
+// minibatch is one prefetched sample set. Two rotate through the
+// free/ready channels; their slices are reused for the whole run, so
+// the steady-state learner loop allocates nothing.
+type minibatch struct {
+	samples []replay.Transition
+	indices []int
+	weights []float64
+}
+
+// startLearnerPipeline launches the sampler and learner goroutines
+// and returns a channel closed when the learner has spent its budget
+// (or given up). The sampler waits for warmReady (warmup passed and
+// one batch buffered) before drawing; if the actors finish first it
+// learns only when they left enough data behind — the update budget
+// is otherwise spent exactly, matching the round-robin mode.
+func (t *Trainer) startLearnerPipeline(agent *ddpg.Agent, batch, budget int, stop *atomic.Bool, warmReady, actorsDone <-chan struct{}) <-chan struct{} {
+	learnerDone := make(chan struct{})
+	if budget <= 0 {
+		close(learnerDone)
+		return learnerDone
+	}
+	free := make(chan *minibatch, 2)
+	ready := make(chan *minibatch, 2)
+	for i := 0; i < 2; i++ {
+		free <- &minibatch{
+			samples: make([]replay.Transition, 0, batch),
+			indices: make([]int, 0, batch),
+			weights: make([]float64, 0, batch),
+		}
+	}
+	go func() { // sampler
+		defer close(ready)
+		rng := rand.New(rand.NewSource(agent.Config().Seed*0x5DEECE66D + 11))
+		select {
+		case <-warmReady:
+		case <-actorsDone:
+			// Actors finished (or died) before the warmup gate
+			// opened; learn only if they left enough data behind.
+			if agent.BufferLen() < batch {
+				return
+			}
+		}
+		for produced := 0; produced < budget && !stop.Load(); produced++ {
+			mb := <-free
+			s, idx, w := agent.SampleReplayInto(rng, batch, mb.samples, mb.indices, mb.weights)
+			if s == nil {
+				return
+			}
+			mb.samples, mb.indices, mb.weights = s, idx, w
+			ready <- mb
+		}
+	}()
+	go func() { // learner
+		defer close(learnerDone)
+		for mb := range ready {
+			t.learner.LearnBatchStep(mb.samples, mb.indices, mb.weights, t.cfg.VersionEvery)
+			free <- mb
+		}
+	}()
+	return learnerDone
+}

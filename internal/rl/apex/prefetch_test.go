@@ -1,0 +1,95 @@
+package apex
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"greennfv/internal/rl/ddpg"
+	"greennfv/internal/rl/replay"
+	"greennfv/internal/sla"
+)
+
+// TestParallelInstallsShardedReplay: the parallel pipeline must swap
+// the learner onto the lock-striped buffer before experience flows,
+// and honor an explicit shard count.
+func TestParallelInstallsShardedReplay(t *testing.T) {
+	cfg := DefaultTrainerConfig(200)
+	cfg.Actors = 2
+	cfg.Parallel = true
+	cfg.ReplayShards = 4
+	cfg.EnvFactory = envFactory(sla.NewEnergyEfficiency())
+	cfg.AgentConfig = ddpg.DefaultConfig(0, 0)
+	cfg.AgentConfig.Hidden = []int{12}
+	cfg.AgentConfig.BatchSize = 8
+	cfg.AgentConfig.Seed = 3
+	tr, err := NewTrainer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Run(); err != nil {
+		t.Fatal(err)
+	}
+	sharded, ok := tr.Learner().Agent().Replay().(*replay.Sharded)
+	if !ok {
+		t.Fatalf("parallel learner replay is %T, want *replay.Sharded", tr.Learner().Agent().Replay())
+	}
+	if sharded.NumShards() != 4 {
+		t.Errorf("shards = %d, want 4", sharded.NumShards())
+	}
+	if sharded.Len() == 0 {
+		t.Error("sharded replay received no experience")
+	}
+}
+
+// TestRoundRobinKeepsSingleTreeReplay: the deterministic mode must
+// not change buffers — its sampling stream is what the recorded
+// figures depend on.
+func TestRoundRobinKeepsSingleTreeReplay(t *testing.T) {
+	cfg := DefaultTrainerConfig(100)
+	cfg.Actors = 2
+	cfg.EnvFactory = envFactory(sla.NewEnergyEfficiency())
+	cfg.AgentConfig = ddpg.DefaultConfig(0, 0)
+	cfg.AgentConfig.Hidden = []int{12}
+	cfg.AgentConfig.BatchSize = 8
+	cfg.AgentConfig.Seed = 3
+	tr, err := NewTrainer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := tr.Learner().Agent().Replay().(*replay.Prioritized); !ok {
+		t.Fatalf("round-robin learner replay is %T, want *replay.Prioritized", tr.Learner().Agent().Replay())
+	}
+}
+
+// TestNoBusyWaitInParallel pins the satellite fix of the PR: the old
+// learner loop busy-waited on the replay with a 100µs poll and a
+// runtime.Gosched handoff every 64 updates ("let actors at the
+// learner mutex"). The sampler/learner pipeline (prefetch.go) blocks
+// on channels only — no polling or yield primitive may reappear
+// there — and nothing in the parallel mode may sleep-poll. The
+// actors' cooperative fairness yield in parallel.go is the one
+// permitted Gosched; it is not a wait.
+func TestNoBusyWaitInParallel(t *testing.T) {
+	pipeline, err := os.ReadFile("prefetch.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, banned := range []string{"runtime.Gosched", "time.After", "time.Sleep", "time.Tick"} {
+		if strings.Contains(string(pipeline), banned) {
+			t.Errorf("prefetch.go contains %s — the learner pipeline must block on channels, not busy-wait", banned)
+		}
+	}
+	actors, err := os.ReadFile("parallel.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, banned := range []string{"time.After", "time.Sleep", "time.Tick"} {
+		if strings.Contains(string(actors), banned) {
+			t.Errorf("parallel.go contains %s — no sleep-polling in the parallel mode", banned)
+		}
+	}
+}

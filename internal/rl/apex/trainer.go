@@ -76,12 +76,17 @@ type TrainerConfig struct {
 	// progressively more exploration (Ape-X's per-actor epsilon).
 	BaseSigma float64
 	// Parallel selects truly concurrent training — actor goroutines
-	// stepping their own environments while the learner runs batched
-	// updates, the architecture of Horgan et al. — instead of the
-	// deterministic round-robin interleaving. Round-robin remains the
-	// default: it is reproducible, which tests and recorded figures
-	// rely on.
+	// stepping their own environments while a sampler/learner pipeline
+	// runs batched updates over a lock-striped replay, the
+	// architecture of Horgan et al. — instead of the deterministic
+	// round-robin interleaving. Round-robin remains the default: it is
+	// reproducible, which tests and recorded figures rely on.
 	Parallel bool
+	// ReplayShards sets the lock-stripe count of the parallel mode's
+	// sharded replay buffer (0 = GOMAXPROCS, clamped to [2, 16]).
+	// Ignored by the deterministic round-robin mode, which keeps the
+	// single-tree buffer.
+	ReplayShards int
 	// EnvFactory builds one environment per actor (distinct seeds).
 	EnvFactory func(actorID int) (*env.Env, error)
 	// AgentConfig templates the learner and actor networks; state

@@ -15,6 +15,26 @@ import (
 	"greennfv/internal/rl/replay"
 )
 
+// PrioritizedReplay abstracts the prioritized buffer the agent
+// samples from: the single-tree replay.Prioritized (default — its RNG
+// stream is what the recorded deterministic figures use) and the
+// lock-striped replay.Sharded (the parallel Ape-X trainer) both
+// satisfy it.
+type PrioritizedReplay interface {
+	Len() int
+	Add(t replay.Transition)
+	AddWithPriority(t replay.Transition, priority float64)
+	AddBatch(ts []replay.Transition, priorities []float64)
+	SampleInto(rng *rand.Rand, n int, samples []replay.Transition, indices []int, weights []float64) ([]replay.Transition, []int, []float64)
+	UpdatePrioritiesBatch(indices []int, tdErrs []float64)
+	Beta() float64
+}
+
+var (
+	_ PrioritizedReplay = (*replay.Prioritized)(nil)
+	_ PrioritizedReplay = (*replay.Sharded)(nil)
+)
+
 // Config hyper-parameterizes an agent.
 type Config struct {
 	StateDim  int
@@ -134,7 +154,7 @@ type Agent struct {
 	noise *OUNoise
 
 	uniform     *replay.Uniform
-	prioritized *replay.Prioritized
+	prioritized PrioritizedReplay
 
 	learnSteps int
 	// scratch buffers to avoid per-step garbage.
@@ -153,6 +173,10 @@ type Agent struct {
 	bDQ         []float64 // BatchSize dL/dQ
 	bDAct       []float64 // BatchSize × ActionDim
 	tdErrBuf    []float64 // BatchSize TD errors for priority updates
+	// fused-pass scratch (LearnBatch): the regression half and the
+	// action-gradient half of the critic pass stacked in one matrix.
+	bSA2 []float64 // 2·BatchSize × (StateDim+ActionDim)
+	bDQ2 []float64 // 2·BatchSize dL/dQ
 }
 
 // growScratch sizes the minibatch scratch buffers once.
@@ -174,6 +198,8 @@ func (a *Agent) growScratch() {
 	a.bDQ = make([]float64, n)
 	a.bDAct = make([]float64, n*A)
 	a.tdErrBuf = make([]float64, n)
+	a.bSA2 = make([]float64, 2*n*(S+A))
+	a.bDQ2 = make([]float64, 2*n)
 }
 
 // New builds an agent from a validated configuration.
@@ -268,12 +294,60 @@ func (a *Agent) ObserveWithPriority(t replay.Transition, priority float64) {
 	a.uniform.Add(t)
 }
 
+// ObserveBatch stores a chunk of transitions with their priorities in
+// one replay call — one lock acquire per chunk instead of one per
+// transition. priorities may be nil (maximal priority).
+func (a *Agent) ObserveBatch(ts []replay.Transition, priorities []float64) {
+	if a.prioritized != nil {
+		a.prioritized.AddBatch(ts, priorities)
+		return
+	}
+	for i := range ts {
+		a.uniform.Add(ts[i])
+	}
+}
+
 // BufferLen reports stored transitions.
 func (a *Agent) BufferLen() int {
 	if a.prioritized != nil {
 		return a.prioritized.Len()
 	}
 	return a.uniform.Len()
+}
+
+// SetReplay swaps the prioritized replay implementation — the
+// parallel Ape-X trainer installs a sharded buffer before any
+// experience flows. Only allowed on a prioritized agent whose buffer
+// is still empty, so no experience is silently dropped.
+func (a *Agent) SetReplay(buf PrioritizedReplay) error {
+	if a.prioritized == nil {
+		return errors.New("ddpg: agent is not configured for prioritized replay")
+	}
+	if buf == nil {
+		return errors.New("ddpg: nil replay buffer")
+	}
+	if a.prioritized.Len() > 0 {
+		return errors.New("ddpg: replay already holds experience")
+	}
+	a.prioritized = buf
+	return nil
+}
+
+// Replay exposes the prioritized replay implementation currently
+// installed (nil for uniform agents) — introspection for tests and
+// monitoring.
+func (a *Agent) Replay() PrioritizedReplay { return a.prioritized }
+
+// SampleReplayInto samples a minibatch from the agent's prioritized
+// replay into caller-owned buffers. With a goroutine-safe buffer it
+// may run concurrently with LearnBatch — the Ape-X prefetcher's
+// sampler goroutine fills the next minibatch while the learner
+// consumes the current one.
+func (a *Agent) SampleReplayInto(rng *rand.Rand, n int, samples []replay.Transition, indices []int, weights []float64) ([]replay.Transition, []int, []float64) {
+	if a.prioritized == nil {
+		return nil, nil, nil
+	}
+	return a.prioritized.SampleInto(rng, n, samples, indices, weights)
 }
 
 // TDError computes the temporal-difference error of a single
@@ -319,6 +393,32 @@ func (a *Agent) Learn() float64 {
 		batch = a.uniform.SampleInto(a.rng, a.cfg.BatchSize, a.batchBuf)
 		a.batchBuf = batch
 	}
+	return a.learnMinibatch(batch, indices, weights, false)
+}
+
+// LearnBatch runs one update on an externally sampled minibatch — the
+// Ape-X prefetcher path, where a sampler goroutine fills the next
+// minibatch while this one is consumed. It uses the FUSED critic
+// pass: the regression rows and the dQ/da probe rows go through one
+// 2n-row forward/backward (nn.BackwardBatchSplit), cutting one full
+// ForwardBatch call and one weight transpose per layer per step. The
+// fused ordering evaluates dQ/da against the pre-update critic (the
+// sequential Learn uses the just-updated critic), which is why the
+// deterministic round-robin path keeps the unfused sequence and stays
+// byte-identical. Updated priorities are written back through
+// UpdatePrioritiesBatch.
+func (a *Agent) LearnBatch(batch []replay.Transition, indices []int, weights []float64) float64 {
+	if len(batch) > a.cfg.BatchSize {
+		batch = batch[:a.cfg.BatchSize] // scratch is sized to BatchSize
+	}
+	a.growScratch()
+	return a.learnMinibatch(batch, indices, weights, true)
+}
+
+// learnMinibatch is the shared DDPG update body. The fused flag
+// selects the 2n-row critic pass of LearnBatch; the unfused sequence
+// is op-for-op the historical Learn and must stay byte-identical.
+func (a *Agent) learnMinibatch(batch []replay.Transition, indices []int, weights []float64, fused bool) float64 {
 	if len(batch) == 0 {
 		return 0
 	}
@@ -352,6 +452,10 @@ func (a *Agent) Learn() float64 {
 		a.bY[i] = y
 	}
 
+	if fused {
+		return a.finishFused(batch, indices, weights, n)
+	}
+
 	// Critic update: minimize Σ w_i (y_i − Q(s_i, a_i))².
 	q := a.Critic.ForwardBatch(a.bSA, n)
 	var loss float64
@@ -371,8 +475,8 @@ func (a *Agent) Learn() float64 {
 	a.criticOpt.Step(a.Critic)
 	loss /= float64(n)
 
-	if a.prioritized != nil {
-		a.prioritized.UpdatePriorities(indices, a.tdErrBuf[:n])
+	if a.prioritized != nil && indices != nil {
+		a.prioritized.UpdatePrioritiesBatch(indices, a.tdErrBuf[:n])
 	}
 
 	// Actor update: ascend E[Q(s, μ(s))] — equation 6. Push dQ/da
@@ -396,7 +500,67 @@ func (a *Agent) Learn() float64 {
 	a.Actor.ScaleGrad(1 / float64(n))
 	a.actorOpt.Step(a.Actor)
 
-	// Target network soft updates.
+	a.finishTargets()
+	return loss
+}
+
+// finishFused is the fused critic pass of LearnBatch: one 2n-row
+// forward over [regression rows; (s, μ(s)) probe rows] and one
+// BackwardBatchSplit that keeps parameter gradients from the first
+// half while returning input gradients for the second.
+func (a *Agent) finishFused(batch []replay.Transition, indices []int, weights []float64, n int) float64 {
+	S, A := a.cfg.StateDim, a.cfg.ActionDim
+	SA := S + A
+
+	// Probe actions μ(s) from the online actor; its cached
+	// activations feed the actor backward below (the critic passes in
+	// between do not disturb them).
+	actions := a.Actor.ForwardBatch(a.bStates, n)
+	copy(a.bSA2[:n*SA], a.bSA[:n*SA])
+	for i := 0; i < n; i++ {
+		row := a.bSA2[(n+i)*SA : (n+i+1)*SA]
+		copy(row[:S], batch[i].State)
+		copy(row[S:], actions[i*A:(i+1)*A])
+	}
+
+	q2 := a.Critic.ForwardBatch(a.bSA2, 2*n)
+	var loss float64
+	for i := 0; i < n; i++ {
+		diff := q2[i] - a.bY[i]
+		a.tdErrBuf[i] = -diff
+		w := 1.0
+		if weights != nil {
+			w = weights[i]
+		}
+		loss += w * diff * diff
+		a.bDQ2[i] = w * diff
+		a.bDQ2[n+i] = -1 // ascend Q along the probe rows
+	}
+	a.Critic.ZeroGrad()
+	dInput := a.Critic.BackwardBatchSplit(a.bDQ2, 2*n, n)
+	a.Critic.ScaleGrad(1 / float64(n))
+	a.criticOpt.Step(a.Critic)
+	loss /= float64(n)
+
+	if a.prioritized != nil && indices != nil {
+		a.prioritized.UpdatePrioritiesBatch(indices, a.tdErrBuf[:n])
+	}
+
+	for i := 0; i < n; i++ {
+		copy(a.bDAct[i*A:(i+1)*A], dInput[(n+i)*SA+S:(n+i+1)*SA])
+	}
+	a.Actor.ZeroGrad()
+	a.Actor.BackwardBatchParams(a.bDAct, n)
+	a.Actor.ScaleGrad(1 / float64(n))
+	a.actorOpt.Step(a.Actor)
+
+	a.finishTargets()
+	return loss
+}
+
+// finishTargets applies the soft target updates and per-step
+// bookkeeping shared by both learn paths.
+func (a *Agent) finishTargets() {
 	if err := a.actorTarget.SoftUpdate(a.Actor, a.cfg.Tau); err != nil {
 		panic(err) // topologies are construction-matched
 	}
@@ -408,7 +572,6 @@ func (a *Agent) Learn() float64 {
 	if a.cfg.NoiseDecay > 0 && a.cfg.NoiseDecay < 1 {
 		a.noise.SetSigma(a.noise.Sigma() * a.cfg.NoiseDecay)
 	}
-	return loss
 }
 
 // LearnSteps reports completed updates.

@@ -206,6 +206,24 @@ func (p *Prioritized) addLocked(t Transition, priority float64) {
 	}
 }
 
+// AddBatch stores a chunk of transitions under one lock acquire —
+// the flush path for per-actor staging buffers, which otherwise pay a
+// mutex round-trip per transition. priorities may be nil (every
+// transition gets the current maximal priority) or shorter than ts
+// (the tail gets maximal priority). The insertion sequence is
+// identical to calling AddWithPriority element by element.
+func (p *Prioritized) AddBatch(ts []Transition, priorities []float64) {
+	p.mu.Lock()
+	for i := range ts {
+		prio := p.maxPrior
+		if i < len(priorities) {
+			prio = priorities[i]
+		}
+		p.addLocked(ts[i], prio)
+	}
+	p.mu.Unlock()
+}
+
 // Sample draws n transitions by priority. It returns the samples,
 // their buffer indices (for UpdatePriorities) and their normalized
 // importance-sampling weights. Fewer than n are returned only when
@@ -283,6 +301,13 @@ func (p *Prioritized) UpdatePriorities(indices []int, tdErrs []float64) {
 		}
 		p.tree.set(idx, math.Pow(prio+p.eps, p.alpha))
 	}
+}
+
+// UpdatePrioritiesBatch is UpdatePriorities under its existing single
+// lock, named for the batched write-back surface the sharded buffer
+// introduces so both buffers satisfy one interface.
+func (p *Prioritized) UpdatePrioritiesBatch(indices []int, tdErrs []float64) {
+	p.UpdatePriorities(indices, tdErrs)
 }
 
 // Beta reports the current importance-sampling exponent.

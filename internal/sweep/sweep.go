@@ -1,0 +1,282 @@
+// Package sweep is the multi-seed, multi-scenario experiment harness:
+// it trains one GreenNFV controller per (seed × SLA tier × traffic
+// mix) grid cell over the shared bounded worker pool and emits one
+// JSON row per cell, so sensitivity studies — how robust is each SLA
+// model across seeds and offered loads — and new scenarios run from
+// one entry point (cmd/experiments -sweep) instead of ad-hoc figure
+// drivers.
+package sweep
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"greennfv/internal/control"
+	"greennfv/internal/env"
+	"greennfv/internal/perfmodel"
+	"greennfv/internal/pool"
+	"greennfv/internal/sla"
+)
+
+// Tier is one named SLA grid axis value.
+type Tier struct {
+	Name string
+	SLA  sla.SLA
+}
+
+// Mix is one named traffic-mix grid axis value.
+type Mix struct {
+	Name       string
+	Flows      []env.FlowLoad
+	LoadJitter float64
+}
+
+// scaleFlows returns the flow set with every packet rate multiplied
+// by f and burstiness multiplied by b.
+func scaleFlows(flows []env.FlowLoad, f, b float64) []env.FlowLoad {
+	out := make([]env.FlowLoad, len(flows))
+	for i, fl := range flows {
+		fl.PPS *= f
+		fl.Burstiness *= b
+		out[i] = fl
+	}
+	return out
+}
+
+// DefaultTiers returns the paper's SLA instances as grid tiers: both
+// Maximum-Throughput energy budgets (2000 J and 3300 J), both
+// Minimum-Energy throughput floors (7.5 and 7 Gbps), and the
+// unconstrained Energy-Efficiency target.
+func DefaultTiers() ([]Tier, error) {
+	maxT2000, err := sla.NewMaxThroughput(2000)
+	if err != nil {
+		return nil, err
+	}
+	maxT3300, err := sla.NewMaxThroughput(3300)
+	if err != nil {
+		return nil, err
+	}
+	minE75, err := sla.NewMinEnergy(7.5)
+	if err != nil {
+		return nil, err
+	}
+	minE70, err := sla.NewMinEnergy(7)
+	if err != nil {
+		return nil, err
+	}
+	return []Tier{
+		{Name: "maxT-2000J", SLA: maxT2000},
+		{Name: "maxT-3300J", SLA: maxT3300},
+		{Name: "minE-7.5G", SLA: minE75},
+		{Name: "minE-7.0G", SLA: minE70},
+		{Name: "ee", SLA: sla.NewEnergyEfficiency()},
+	}, nil
+}
+
+// DefaultMixes returns the traffic-mix axis: the paper's standard
+// five-flow workload, a light variant (60% of the offered rate) and a
+// heavy, burstier one (130% rate, doubled burstiness, more jitter).
+func DefaultMixes() []Mix {
+	std := env.StandardWorkload()
+	return []Mix{
+		{Name: "standard", Flows: std, LoadJitter: 0.03},
+		{Name: "light", Flows: scaleFlows(std, 0.6, 1), LoadJitter: 0.03},
+		{Name: "heavy", Flows: scaleFlows(std, 1.3, 2), LoadJitter: 0.06},
+	}
+}
+
+// Config sizes a sweep.
+type Config struct {
+	// Seeds, Tiers and Mixes span the grid; every combination is one
+	// cell.
+	Seeds []int64
+	Tiers []Tier
+	Mixes []Mix
+	// TrainSteps / Actors budget each cell's Ape-X training run;
+	// ControlSteps is the post-training measurement horizon.
+	TrainSteps   int
+	Actors       int
+	ControlSteps int
+	// ParallelTrain trains each cell with the concurrent pipeline
+	// (fast, non-deterministic) instead of round-robin.
+	ParallelTrain bool
+	// Workers bounds concurrently running cells (0 = GOMAXPROCS).
+	Workers int
+}
+
+// DefaultConfig returns the standard grid — 2 seeds × 5 SLA tiers ×
+// 3 traffic mixes = 30 cells — at the given budgets.
+func DefaultConfig(trainSteps, actors, controlSteps int) (Config, error) {
+	tiers, err := DefaultTiers()
+	if err != nil {
+		return Config{}, err
+	}
+	return Config{
+		Seeds:        []int64{17, 43},
+		Tiers:        tiers,
+		Mixes:        DefaultMixes(),
+		TrainSteps:   trainSteps,
+		Actors:       actors,
+		ControlSteps: controlSteps,
+	}, nil
+}
+
+// Validate reports whether the grid is runnable.
+func (c Config) Validate() error {
+	switch {
+	case len(c.Seeds) == 0 || len(c.Tiers) == 0 || len(c.Mixes) == 0:
+		return errors.New("sweep: need at least one seed, tier and mix")
+	case c.TrainSteps <= 0 || c.Actors <= 0 || c.ControlSteps <= 0:
+		return errors.New("sweep: all budgets must be positive")
+	}
+	return nil
+}
+
+// Cells reports the grid size.
+func (c Config) Cells() int { return len(c.Seeds) * len(c.Tiers) * len(c.Mixes) }
+
+// Result is one grid cell's outcome — one JSON row.
+type Result struct {
+	Seed      int64  `json:"seed"`
+	SLA       string `json:"sla"`
+	SLADetail string `json:"sla_detail"`
+	Traffic   string `json:"traffic"`
+
+	TrainSteps   int `json:"train_steps"`
+	Actors       int `json:"actors"`
+	ControlSteps int `json:"control_steps"`
+
+	// Settled means over the last quarter of the control horizon.
+	ThroughputGbps float64 `json:"throughput_gbps"`
+	EnergyJ        float64 `json:"energy_j"`
+	Efficiency     float64 `json:"efficiency_gbps_per_kj"`
+	// SLA satisfaction over the whole control horizon.
+	ViolationRate float64 `json:"violation_rate"`
+	MeanViolation float64 `json:"mean_violation"`
+
+	TrainSeconds float64 `json:"train_seconds"`
+	Error        string  `json:"error,omitempty"`
+}
+
+// factory builds the cell's environment factory for one mix.
+func factory(s sla.SLA, m Mix) control.EnvFactory {
+	return func(seed int64, opts perfmodel.EvalOptions) (*env.Env, error) {
+		return env.New(env.Config{
+			Model:      perfmodel.Default(),
+			Chain:      perfmodel.StandardChain(),
+			Bounds:     perfmodel.DefaultBounds(),
+			SLA:        s,
+			Flows:      m.Flows,
+			LoadJitter: m.LoadJitter,
+			Options:    opts,
+			Seed:       seed,
+		})
+	}
+}
+
+// runCell trains and measures one grid cell.
+func runCell(cfg Config, seed int64, tier Tier, mix Mix) (Result, error) {
+	r := Result{
+		Seed: seed, SLA: tier.Name, SLADetail: tier.SLA.Describe(),
+		Traffic: mix.Name, TrainSteps: cfg.TrainSteps, Actors: cfg.Actors,
+		ControlSteps: cfg.ControlSteps,
+	}
+	g := control.NewGreenNFV(tier.SLA, cfg.TrainSteps, cfg.Actors, seed)
+	g.Parallel = cfg.ParallelTrain
+	f := factory(tier.SLA, mix)
+	start := time.Now()
+	if err := g.Prepare(f); err != nil {
+		return r, fmt.Errorf("prepare: %w", err)
+	}
+	r.TrainSeconds = time.Since(start).Seconds()
+
+	// Measure the trained policy: run the control loop, track SLA
+	// satisfaction on every interval, and report the settled means of
+	// the last quarter of the horizon (the Fig 9 idiom).
+	e, err := f(seed+1000, g.Options())
+	if err != nil {
+		return r, fmt.Errorf("measure env: %w", err)
+	}
+	tracker := sla.NewTracker(tier.SLA)
+	settle := cfg.ControlSteps / 4
+	if settle < 1 {
+		settle = 1
+	}
+	var tput, energy float64
+	for i := 0; i < cfg.ControlSteps; i++ {
+		res, err := g.Step(e)
+		if err != nil {
+			return r, fmt.Errorf("control step %d: %w", i, err)
+		}
+		tracker.Observe(res.ThroughputGbps, res.EnergyJoules)
+		if i >= cfg.ControlSteps-settle {
+			tput += res.ThroughputGbps
+			energy += res.EnergyJoules
+		}
+	}
+	r.ThroughputGbps = tput / float64(settle)
+	r.EnergyJ = energy / float64(settle)
+	if r.EnergyJ > 0 {
+		r.Efficiency = r.ThroughputGbps / (r.EnergyJ / 1000)
+	}
+	r.ViolationRate = tracker.ViolationRate()
+	r.MeanViolation = tracker.MeanViolation()
+	return r, nil
+}
+
+// Run executes every grid cell across the shared bounded worker pool
+// and returns one Result per cell in deterministic seed-major order
+// regardless of scheduling. A failing cell records its error in the
+// row and does not stop the rest of the grid; the lowest failing
+// cell's error is also returned after all cells ran.
+func Run(cfg Config) ([]Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	type cell struct {
+		seed int64
+		tier Tier
+		mix  Mix
+	}
+	var cells []cell
+	for _, seed := range cfg.Seeds {
+		for _, tier := range cfg.Tiers {
+			for _, mix := range cfg.Mixes {
+				cells = append(cells, cell{seed, tier, mix})
+			}
+		}
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	results := make([]Result, len(cells))
+	idx, err := pool.ForEach(len(cells), workers, func(i int) error {
+		r, err := runCell(cfg, cells[i].seed, cells[i].tier, cells[i].mix)
+		if err != nil {
+			r.Error = err.Error()
+		}
+		results[i] = r
+		return err
+	})
+	if err != nil {
+		return results, fmt.Errorf("sweep: cell %d (%s/%s/seed %d): %w",
+			idx, cells[idx].tier.Name, cells[idx].mix.Name, cells[idx].seed, err)
+	}
+	return results, nil
+}
+
+// WriteJSONL emits one compact JSON row per result.
+func WriteJSONL(w io.Writer, results []Result) error {
+	enc := json.NewEncoder(w)
+	for i := range results {
+		if err := enc.Encode(&results[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,108 @@
+package sweep
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestConfigValidate(t *testing.T) {
+	cfg, err := DefaultConfig(100, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+	if cfg.Cells() < 24 {
+		t.Errorf("default grid has %d cells, want >= 24", cfg.Cells())
+	}
+	bad := cfg
+	bad.Seeds = nil
+	if err := bad.Validate(); err == nil {
+		t.Error("empty seed axis accepted")
+	}
+	bad = cfg
+	bad.TrainSteps = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero train budget accepted")
+	}
+}
+
+// TestSweepSmallGrid trains a tiny grid end to end and checks one
+// well-formed JSON row lands per cell, in deterministic seed-major
+// order.
+func TestSweepSmallGrid(t *testing.T) {
+	tiers, err := DefaultTiers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Seeds:        []int64{17},
+		Tiers:        tiers[:2],
+		Mixes:        DefaultMixes()[:2],
+		TrainSteps:   120,
+		Actors:       1,
+		ControlSteps: 4,
+	}
+	results, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != cfg.Cells() {
+		t.Fatalf("got %d results, want %d", len(results), cfg.Cells())
+	}
+	wantOrder := []string{
+		tiers[0].Name + "/standard",
+		tiers[0].Name + "/light",
+		tiers[1].Name + "/standard",
+		tiers[1].Name + "/light",
+	}
+	for i, r := range results {
+		if r.Error != "" {
+			t.Errorf("cell %d failed: %s", i, r.Error)
+		}
+		if got := r.SLA + "/" + r.Traffic; got != wantOrder[i] {
+			t.Errorf("cell %d = %s, want %s", i, got, wantOrder[i])
+		}
+		if r.ThroughputGbps <= 0 || r.EnergyJ <= 0 {
+			t.Errorf("cell %d: tput=%v energy=%v", i, r.ThroughputGbps, r.EnergyJ)
+		}
+		if r.Seed != 17 || r.TrainSteps != 120 {
+			t.Errorf("cell %d: budgets not recorded: %+v", i, r)
+		}
+		if r.TrainSeconds <= 0 {
+			t.Errorf("cell %d: train_seconds = %v", i, r.TrainSeconds)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, results); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != len(results) {
+		t.Fatalf("JSONL emitted %d rows, want %d", len(lines), len(results))
+	}
+	for _, line := range lines {
+		var row Result
+		if err := json.Unmarshal([]byte(line), &row); err != nil {
+			t.Fatalf("row %q: %v", line, err)
+		}
+	}
+}
+
+func TestScaleFlows(t *testing.T) {
+	mixes := DefaultMixes()
+	var std, light float64
+	for _, f := range mixes[0].Flows {
+		std += f.PPS
+	}
+	for _, f := range mixes[1].Flows {
+		light += f.PPS
+	}
+	if light >= std {
+		t.Errorf("light mix offers %v pps, standard %v — want lighter", light, std)
+	}
+}
