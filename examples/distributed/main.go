@@ -1,18 +1,26 @@
-// distributed runs the Ape-X architecture across process boundaries
-// the way the paper's six-node deployment does: a central learner
-// served over net/rpc on localhost, with several actor goroutines
-// connecting as RPC clients, each with its own environment and
-// exploration intensity.
+// distributed runs the Ape-X architecture across real process
+// boundaries the way the paper's six-node deployment does: the
+// trainer serves the central learner over net/rpc and spawns three
+// actor OS processes (cmd/apexactor), each rebuilding its own
+// environment from the shipped JSON spec and climbing the exploration
+// ladder by rank. Experience flows in over RPC; parameter broadcasts
+// flow back; the round drains gracefully when the update budget is
+// spent.
+//
+// Run from anywhere in the module (the actors are spawned via
+// `go run greennfv/cmd/apexactor`, so the toolchain must be on PATH):
+//
+//	go run ./examples/distributed
+//
+// For separate machines, build cmd/apexactor, set ListenAddr to a
+// routable address, leave SpawnRemote empty, and start the actors by
+// hand — see the README's "Distributed training" section.
 package main
 
 import (
 	"fmt"
 	"log"
-	"runtime"
-	"sync"
 
-	"greennfv/internal/env"
-	"greennfv/internal/perfmodel"
 	"greennfv/internal/rl/apex"
 	"greennfv/internal/rl/ddpg"
 	"greennfv/internal/sla"
@@ -21,126 +29,50 @@ import (
 func main() {
 	log.SetFlags(0)
 
-	mkEnv := func(seed int64) (*env.Env, error) {
-		return env.New(env.Config{
-			Model:      perfmodel.Default(),
-			Chain:      perfmodel.StandardChain(),
-			Bounds:     perfmodel.DefaultBounds(),
-			SLA:        sla.NewEnergyEfficiency(),
-			Flows:      env.StandardWorkload(),
-			LoadJitter: 0.03,
-			Seed:       seed,
-		})
+	spec := &apex.ActorSpec{
+		// Environment: the paper's standard chain and five-flow
+		// workload under the unconstrained energy-efficiency SLA.
+		SLA:        sla.NewEnergyEfficiency(),
+		LoadJitter: 0.03,
+		EnvSeed:    100,
 	}
-	probe, err := mkEnv(0)
+
+	cfg := apex.DefaultTrainerConfig(1200)
+	cfg.RemoteActors = 3
+	cfg.SpawnRemote = []string{"go", "run", "greennfv/cmd/apexactor"}
+	cfg.RemoteSpec = spec
+	cfg.AgentConfig = ddpg.DefaultConfig(0, 0) // dims filled from the spec's env
+	cfg.AgentConfig.Seed = 7
+
+	trainer, err := apex.NewTrainer(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
+	fmt.Printf("training: 1 learner + %d actor processes, %d total env steps\n",
+		cfg.RemoteActors, cfg.TotalSteps)
+	if err := trainer.Run(); err != nil {
+		log.Fatal(err)
+	}
 
-	agentCfg := ddpg.DefaultConfig(probe.StateDim(), probe.ActionDim())
-	agentCfg.Seed = 7
-	learnerAgent, err := ddpg.New(agentCfg)
+	pushes, transitions := trainer.Learner().Stats()
+	fmt.Printf("\nlearner: %d updates, %d pushes, %d transitions in replay\n",
+		trainer.Learner().Agent().LearnSteps(), pushes, transitions)
+	stats := trainer.RemoteActorStats()
+	for rank := 0; rank < cfg.RemoteActors; rank++ {
+		st := stats[rank]
+		fmt.Printf("  actor %d: %d pushes, %d transitions, last param version %d\n",
+			rank, st.Pushes, st.Transitions, st.LastVersion)
+	}
+
+	// Evaluate the learned policy greedily on a fresh environment.
+	e, err := spec.BuildEnv(999)
 	if err != nil {
 		log.Fatal(err)
 	}
-	learner, err := apex.NewLearner(learnerAgent)
+	res, err := trainer.GreedyEval(e, 5)
 	if err != nil {
 		log.Fatal(err)
 	}
-	srv, err := apex.Serve(learner, "127.0.0.1:0")
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer srv.Close()
-	fmt.Printf("central learner listening on %s\n", srv.Addr())
-
-	const actors = 3
-	const stepsPerActor = 400
-	var wg sync.WaitGroup
-	for id := 0; id < actors; id++ {
-		wg.Add(1)
-		go func(id int) {
-			defer wg.Done()
-			client, err := apex.Dial(srv.Addr())
-			if err != nil {
-				log.Printf("actor %d: %v", id, err)
-				return
-			}
-			defer client.Close()
-			e, err := mkEnv(int64(100 + id))
-			if err != nil {
-				log.Printf("actor %d: %v", id, err)
-				return
-			}
-			aCfg := agentCfg
-			aCfg.Seed = int64(200 + id)
-			aCfg.OUSigma = 0.3 * (1 + 0.5*float64(id)) // exploration ladder
-			actor, err := apex.NewActor(apex.ActorConfig{
-				ID: id, Env: e, AgentConfig: aCfg, PushEvery: 8, SyncEvery: 16,
-			})
-			if err != nil {
-				log.Printf("actor %d: %v", id, err)
-				return
-			}
-			for i := 0; i < stepsPerActor; i++ {
-				if _, _, err := actor.Step(client); err != nil {
-					log.Printf("actor %d step %d: %v", id, i, err)
-					return
-				}
-			}
-			fmt.Printf("actor %d finished %d steps\n", id, actor.Steps())
-		}(id)
-	}
-
-	// Learner loop: update while actors stream experience, pacing
-	// updates against the experience actually received so the policy
-	// does not overfit the first few transitions while actors are
-	// still warming up.
-	done := make(chan struct{})
-	go func() {
-		wg.Wait()
-		close(done)
-	}()
-	updates := 0
-	for {
-		select {
-		case <-done:
-			// Final updates on the last experience.
-			for i := 0; i < 200; i++ {
-				learner.LearnStep(8)
-				updates++
-			}
-			pushes, transitions := learner.Stats()
-			fmt.Printf("\nlearner: %d updates, %d pushes, %d transitions in replay\n",
-				updates, pushes, transitions)
-
-			// Evaluate the learned policy greedily.
-			e, err := mkEnv(999)
-			if err != nil {
-				log.Fatal(err)
-			}
-			state := e.Reset(999)
-			var last float64
-			var lastE float64
-			for i := 0; i < 5; i++ {
-				action := learner.Agent().Greedy(state)
-				next, _, info, err := e.Step(action)
-				if err != nil {
-					log.Fatal(err)
-				}
-				state = next
-				last, lastE = info.ThroughputGbps, info.EnergyJoules
-			}
-			fmt.Printf("greedy policy: %.2f Gbps at %.0f J per window\n", last, lastE)
-			return
-		default:
-			_, transitions := learner.Stats()
-			if updates < 2*transitions {
-				learner.LearnStep(8)
-				updates++
-			} else {
-				runtime.Gosched()
-			}
-		}
-	}
+	fmt.Printf("greedy policy: %.2f Gbps at %.0f J per window\n",
+		res.ThroughputGbps, res.EnergyJoules)
 }

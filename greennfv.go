@@ -27,6 +27,7 @@ import (
 	"greennfv/internal/control"
 	"greennfv/internal/env"
 	"greennfv/internal/perfmodel"
+	"greennfv/internal/rl/apex"
 	"greennfv/internal/sla"
 )
 
@@ -172,6 +173,15 @@ type TrainOptions struct {
 	// ReplayShards overrides the parallel replay's lock-stripe count
 	// (0 = auto).
 	ReplayShards int
+	// RemoteActors > 0 trains with actor OS processes connected to
+	// the learner over net/rpc — the paper's six-node topology. The
+	// processes run ActorCommand (default: an "apexactor" binary
+	// found on PATH; build it with `go build ./cmd/apexactor`).
+	RemoteActors int
+	// ActorCommand is the argv prefix that launches one actor
+	// process; the system appends the learner address, rank, step
+	// budget and spec arguments.
+	ActorCommand []string
 }
 
 // Policy is a trained GreenNFV controller bound to its SLA.
@@ -192,10 +202,43 @@ func (s *System) Train(agreement SLA, opts TrainOptions) (*Policy, error) {
 	g := control.NewGreenNFV(agreement.spec, opts.Steps, actors, s.cfg.Seed)
 	g.Parallel = opts.Parallel
 	g.ReplayShards = opts.ReplayShards
+	if opts.RemoteActors > 0 {
+		g.RemoteActors = opts.RemoteActors
+		g.SpawnRemote = opts.ActorCommand
+		if len(g.SpawnRemote) == 0 {
+			g.SpawnRemote = []string{"apexactor"}
+		}
+		g.RemoteSpec = s.actorSpec(agreement.spec)
+	}
 	if err := g.Prepare(s.factory(agreement.spec)); err != nil {
 		return nil, err
 	}
 	return &Policy{slaSpec: agreement.spec, ctl: g}, nil
+}
+
+// actorSpec serializes the system's environment setup for remote
+// actor processes (which cannot share the in-process EnvFactory
+// closure). Seeding matches the in-process factory: actor rank r gets
+// environment seed Seed+131r.
+func (s *System) actorSpec(slaSpec sla.SLA) *apex.ActorSpec {
+	chain := "standard"
+	switch s.cfg.Chain {
+	case HeavyChain:
+		chain = "heavy"
+	case LightChain:
+		chain = "light"
+	}
+	flows := make([]apex.FlowSpec, 0, len(s.flows))
+	for _, f := range s.flows {
+		flows = append(flows, apex.FlowSpec{PPS: f.PPS, FrameBytes: f.FrameBytes, Burstiness: f.Burstiness})
+	}
+	return &apex.ActorSpec{
+		Chain:      chain,
+		Flows:      flows,
+		LoadJitter: s.cfg.LoadJitter,
+		SLA:        slaSpec,
+		EnvSeed:    s.cfg.Seed,
+	}
 }
 
 // TrainingCurve reports the recorded training-progress points

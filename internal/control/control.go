@@ -1,10 +1,3 @@
-// Package control implements the five resource controllers the
-// paper's evaluation compares (Figure 9): the untuned Baseline, the
-// heuristic of Algorithm 1, the EE-Pstate scheme of Iqbal & John with
-// a DES traffic predictor, the tabular Q-learning model, and
-// GreenNFV itself (DDPG + Ape-X). All controllers drive the same
-// environment through one interface so the comparison is apples to
-// apples.
 package control
 
 import (

@@ -1,0 +1,28 @@
+// Package control implements the five resource controllers the
+// paper's evaluation compares (Figure 9): the untuned Baseline, the
+// heuristic of Algorithm 1, the EE-Pstate scheme of Iqbal & John with
+// a DES traffic predictor, the tabular Q-learning model, and
+// GreenNFV itself (DDPG + Ape-X). All controllers drive the same
+// environment through one interface so the comparison is apples to
+// apples.
+//
+// # Paper mapping
+//
+//   - Baseline: the untuned busy-poll platform of every comparison.
+//   - Heuristic: Algorithm 1 (§4.2).
+//   - EEPstate: the Iqbal & John P/C-state scheme from related work.
+//   - QControl: the tabular Q-learning comparison model (§4.3).
+//   - GreenNFV: the paper's controller (§4.3.2), trained with Ape-X
+//     DDPG and deployed greedily; Figures 6–11.
+//
+// # Concurrency and determinism
+//
+// Controllers are NOT goroutine-safe; the sweep and figure drivers
+// give each concurrently running cell its own controller and
+// environment. With the default (round-robin) trainer every
+// controller is deterministic given its seed — the property the
+// byte-diffed figure tables rest on. GreenNFV.Parallel and
+// GreenNFV.RemoteActors select the concurrent and multi-process
+// Ape-X training modes, which are faster but not deterministic, so
+// the figure harness never enables them.
+package control

@@ -31,6 +31,18 @@ type GreenNFV struct {
 	// ReplayShards overrides the parallel mode's replay lock-stripe
 	// count (0 = auto).
 	ReplayShards int
+	// RemoteActors > 0 trains with actor processes over net/rpc (the
+	// paper's six-node topology) instead of in-process actors;
+	// RemoteSpec must describe the actors' environment. See
+	// apex.TrainerConfig.
+	RemoteActors int
+	// SpawnRemote is the argv prefix that launches each actor process
+	// (empty = actors connect externally to ListenAddr).
+	SpawnRemote []string
+	// ListenAddr is the learner's RPC bind address in remote mode.
+	ListenAddr string
+	// RemoteSpec tells remote actors how to rebuild the environment.
+	RemoteSpec *apex.ActorSpec
 
 	trainer *apex.Trainer
 	// agent is the deployed policy network: the learner's agent
@@ -71,6 +83,10 @@ func (g *GreenNFV) Prepare(factory EnvFactory) error {
 	}
 	cfg.Parallel = g.Parallel
 	cfg.ReplayShards = g.ReplayShards
+	cfg.RemoteActors = g.RemoteActors
+	cfg.SpawnRemote = g.SpawnRemote
+	cfg.ListenAddr = g.ListenAddr
+	cfg.RemoteSpec = g.RemoteSpec
 	cfg.EnvFactory = func(actorID int) (*env.Env, error) {
 		return factory(g.Seed+int64(actorID)*131, g.Options())
 	}

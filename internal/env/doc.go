@@ -1,0 +1,29 @@
+// Package env is the reinforcement-learning environment GreenNFV
+// trains in: it wraps the performance model (the simulated testbed)
+// behind the paper's state space (equation 8: per-NF throughput,
+// energy, CPU utilization, packet arrival rate) and action space
+// (equation 7: per-NF CPU share, frequency, LLC allocation, DMA
+// buffer size, batch size), and pays rewards through the configured
+// SLA.
+//
+// # Paper mapping
+//
+//   - StatePerNF/KnobsPerNF: equations 8 and 7.
+//   - Reward: delegated to internal/sla (§4.3.1, equations 1–3).
+//   - StandardWorkload: the five-flow evaluation mix; LoadJitter is
+//     the per-interval load noise that defeats static heuristics.
+//   - FrozenKnobs: the knob-contribution ablation.
+//
+// # Concurrency and determinism
+//
+// An Env is deterministic given its Seed: the load process draws
+// from a private RNG whose source is reused across Resets, so a
+// seeded episode replays exactly — the property the round-robin
+// Ape-X mode and the recorded training figures rely on. An Env is
+// NOT goroutine-safe; each Ape-X actor owns one instance. VecEnv
+// steps a set of instances as a batch over the shared bounded pool
+// (internal/pool) and keeps per-instance determinism at any worker
+// count. StepInto/ObserveInto are the zero-alloc stepping path
+// (caller-owned observation buffer, pre-clamped default knobs);
+// Step/Observe are allocating wrappers.
+package env

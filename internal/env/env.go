@@ -1,10 +1,3 @@
-// Package env is the reinforcement-learning environment GreenNFV
-// trains in: it wraps the performance model (the simulated testbed)
-// behind the paper's state space (equation 8: per-NF throughput,
-// energy, CPU utilization, packet arrival rate) and action space
-// (equation 7: per-NF CPU share, frequency, LLC allocation, DMA
-// buffer size, batch size), and pays rewards through the configured
-// SLA.
 package env
 
 import (

@@ -1,11 +1,3 @@
-// Package experiments reproduces every figure of the paper's
-// evaluation (there are no numbered tables): the §3 micro-benchmarks
-// (Figures 1–4), the SLA training curves (Figures 6–8), the
-// controller comparison (Figure 9), the fixed-SLA time series
-// (Figure 10) and the amortized energy-saving curve (Figure 11),
-// plus ablation studies beyond the paper. Each driver returns the
-// rows/series the paper plots; renderers emit aligned ASCII tables
-// and CSV.
 package experiments
 
 import (

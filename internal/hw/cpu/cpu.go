@@ -1,11 +1,3 @@
-// Package cpu models the processor-side control surface GreenNFV
-// tunes: per-core DVFS (the cpufrequtils userspace governor of the
-// paper), power governors, C-state sleeping for idle NFs, and
-// cgroup-style CPU shares.
-//
-// The model mirrors the paper's testbed: dual-socket Intel Xeon
-// E5-2620 v4 with 8 cores per socket (16 total) and a DVFS ladder
-// from 1.2 GHz to 2.1 GHz in 100 MHz steps.
 package cpu
 
 import (

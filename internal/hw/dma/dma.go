@@ -1,14 +1,3 @@
-// Package dma models the NIC DMA buffer (descriptor rings plus packet
-// buffer pool) whose size is one of GreenNFV's five control knobs.
-//
-// The buffer interacts with the cache hierarchy through Intel Data
-// Direct I/O (DDIO): the NIC DMAs packets straight into the DDIO
-// partition of the LLC, so a buffer that fits inside that partition
-// gives the NF chain warm packets, while an oversized buffer spills
-// writes into the shared ways and evicts NF working state (the
-// rise-then-fall of paper Figure 4). An undersized buffer, on the
-// other hand, cannot absorb arrival bursts and drops packets at the
-// NIC.
 package dma
 
 import (

@@ -1,12 +1,3 @@
-// Package nn is a small, dependency-free neural-network library: the
-// dense multilayer perceptrons, Adam optimizer and gob checkpointing
-// that GreenNFV's DDPG actor and critic are built from. It replaces
-// the paper's Python 3.6 + TensorFlow learner with a pure-Go
-// implementation sized for the problem (networks of a few thousand
-// parameters, trained on one machine).
-//
-// Networks are not goroutine-safe: forward caches activations for the
-// following backward pass. Give each concurrent user its own Clone.
 package nn
 
 import (

@@ -1,15 +1,3 @@
-// Package node integrates the hardware substrates into one
-// controllable NFV host — the paper's extended ONVM controller
-// (§4.4): "We added functionalities in the ONVM controller that allow
-// us to control the CPU share, DVFS (CPU frequency) control, LLC
-// allocation, DMA Buffer size, and packet batch size."
-//
-// A Node owns a Processor (DVFS, C-states, governors), a CAT
-// controller (CLOS + capacity bitmasks), a cgroup-style share
-// scheduler, per-chain DMA buffers and a power meter, plus the ONVM
-// chains themselves. Apply maps a perfmodel.NFKnobs vector onto all
-// of them atomically, which is exactly what the GreenNFV actor does
-// when the policy emits an action.
 package node
 
 import (

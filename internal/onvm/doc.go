@@ -1,0 +1,26 @@
+// Package onvm is the packet-processing substrate GreenNFV runs on,
+// a software reproduction of the OpenNetVM platform the paper builds
+// upon: fixed-size packet buffers (mbufs) drawn from a bounded
+// mempool, lock-free circular queues between pipeline stages, network
+// functions with an RX and a TX ring each, a manager that wires
+// service chains and moves packets with a mix of polling and
+// callback-style wakeups, and a library of realistic NFs (firewall,
+// NAT, router, IDS, crypto, …).
+//
+// # Paper mapping
+//
+// The ONVM platform of §4.4 and the poll/callback packet-movement
+// mix whose energy cost the Figure 9 platform variants compare; the
+// NF library gives the service chains of Figures 1–4 concrete
+// packet-level behaviour in the nfvsim harness.
+//
+// # Concurrency and determinism
+//
+// Ring is a bounded single-producer/single-consumer lock-free queue
+// (atomic head/tail): exactly one goroutine may enqueue and one
+// dequeue per ring, the standard DPDK/ONVM discipline. The mempool
+// is goroutine-safe; mbufs themselves belong to whichever stage
+// holds them. NFs and the manager are single-goroutine-per-NF. With
+// a seeded traffic source a manager run is deterministic; rings
+// shared across OS threads order only per the SPSC contract.
+package onvm

@@ -1,11 +1,3 @@
-// Package onvm is the packet-processing substrate GreenNFV runs on,
-// a software reproduction of the OpenNetVM platform the paper builds
-// upon: fixed-size packet buffers (mbufs) drawn from a bounded
-// mempool, lock-free circular queues between pipeline stages, network
-// functions with an RX and a TX ring each, a manager that wires
-// service chains and moves packets with a mix of polling and
-// callback-style wakeups, and a library of realistic NFs (firewall,
-// NAT, router, IDS, crypto, …).
 package onvm
 
 import (

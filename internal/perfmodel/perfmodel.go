@@ -1,15 +1,3 @@
-// Package perfmodel is the simulated testbed: an analytic performance
-// and energy model that maps (resource knobs, traffic, chain
-// composition) to (throughput, LLC misses, CPU utilization, power,
-// energy). It substitutes for the paper's physical servers — the six
-// Xeon E5-2620 v4 nodes with X540 NICs and a Yokogawa power meter —
-// and is calibrated so the §3 micro-benchmarks (paper Figures 1–4)
-// reproduce in shape.
-//
-// Both the fast RL environment (internal/env) and the experiment
-// harness evaluate through this model, so the policies GreenNFV
-// learns and the numbers the benchmarks report come from the same
-// physics.
 package perfmodel
 
 import (

@@ -1,0 +1,22 @@
+// Package placement implements energy-aware service-chain placement,
+// the consolidation step the paper describes in §2: "as service
+// chains process the same packets, the placement can efficiently
+// group these chains in the same core and processor to achieve higher
+// performance and lower energy consumption", and GreenNFV
+// "consolidates the VNFs based on the flow path and minimizes the
+// cache eviction".
+//
+// The optimizer packs chains onto the fewest nodes that satisfy CPU
+// and LLC capacity (fewer active nodes dominate the energy bill
+// because of idle power), then reduces cross-node flow traffic with
+// pairwise-swap local search — chains sharing a flow path prefer the
+// same node so packets stay cache-resident.
+//
+// # Concurrency and determinism
+//
+// The optimizer is deterministic: first-fit-decreasing packing with
+// stable tie-breaking and a greedy swap search with a fixed visit
+// order, no RNG. The consolidation study's table rows are sorted
+// before rendering, keeping the experiment suite byte-diffable.
+// Plain value types; not goroutine-safe, and no need to be.
+package placement

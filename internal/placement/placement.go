@@ -1,16 +1,3 @@
-// Package placement implements energy-aware service-chain placement,
-// the consolidation step the paper describes in §2: "as service
-// chains process the same packets, the placement can efficiently
-// group these chains in the same core and processor to achieve higher
-// performance and lower energy consumption", and GreenNFV
-// "consolidates the VNFs based on the flow path and minimizes the
-// cache eviction".
-//
-// The optimizer packs chains onto the fewest nodes that satisfy CPU
-// and LLC capacity (fewer active nodes dominate the energy bill
-// because of idle power), then reduces cross-node flow traffic with
-// pairwise-swap local search — chains sharing a flow path prefer the
-// same node so packets stay cache-resident.
 package placement
 
 import (

@@ -1,0 +1,17 @@
+// Package pool is the one bounded worker pool the batch surfaces
+// share: perfmodel.BatchEvaluate, env.VecEnv, the experiments figure
+// drivers and the internal/sweep grid all fan independent
+// index-addressed work through ForEach instead of growing private
+// copies of the same scheduling and error-selection logic.
+//
+// # Concurrency and determinism
+//
+// ForEach runs fn(i) for every index across at most `workers`
+// goroutines and returns the lowest failing index's error — a
+// deterministic selection regardless of scheduling, so error
+// reporting does not flap between runs. Index-slot output (callers
+// write results[i]) keeps result order independent of worker count;
+// that is the property the bit-identical batch guarantees upstream
+// are built on. fn must be safe to call concurrently for distinct
+// indices.
+package pool

@@ -1,8 +1,3 @@
-// Package pool is the one bounded worker pool the batch surfaces
-// share: perfmodel.BatchEvaluate, env.VecEnv and the experiments
-// figure drivers all fan independent index-addressed work through
-// ForEach instead of growing private copies of the same scheduling
-// and error-selection logic.
 package pool
 
 import (

@@ -1,16 +1,3 @@
-// Package apex implements the distributed learning architecture of
-// Horgan et al. ("Distributed Prioritized Experience Replay") that
-// GreenNFV layers on top of DDPG (paper §4.3.2, Algorithm 3):
-// NF-controller actors generate experience under the current policy,
-// attach locally computed TD priorities, and push batches to a
-// central learner; the learner samples the shared prioritized replay,
-// updates the networks, and periodically broadcasts fresh parameters
-// back to the actors.
-//
-// Two transports are provided: in-process (actors and learner in one
-// process, the configuration the experiment harness uses) and
-// net/rpc over TCP (the multi-node deployment of the paper's
-// evaluation; see Server/Client).
 package apex
 
 import (
@@ -37,8 +24,10 @@ type Experience struct {
 	Priority  float64
 }
 
-// LearnerAPI is the surface actors need from the central learner;
-// the in-process Learner and the RPC client both satisfy it.
+// LearnerAPI is the surface actors need from the central learner.
+// Three implementations satisfy it: the in-process Learner, the plain
+// RPC Client, and the reconnecting RemoteLearner that actor processes
+// use.
 type LearnerAPI interface {
 	// PushExperience appends a batch to the central replay.
 	PushExperience(batch []Experience) error
@@ -288,25 +277,49 @@ func (a *Actor) Step(learner LearnerAPI) (float64, perfmodel.Result, error) {
 	a.state, a.obsBuf = a.obsBuf, a.state
 	a.steps++
 
-	if a.steps%a.pushEvery == 0 && len(a.local) > 0 {
-		if err := learner.PushExperience(a.local); err != nil {
-			return reward, info, fmt.Errorf("apex: push: %w", err)
+	if a.steps%a.pushEvery == 0 {
+		if err := a.Flush(learner); err != nil {
+			return reward, info, err
 		}
-		a.local = nil
 	}
 	if a.steps%a.syncEvery == 0 {
-		v, data, err := learner.PullParams(a.version)
-		if err != nil {
-			return reward, info, fmt.Errorf("apex: pull: %w", err)
+		if err := a.SyncParams(learner); err != nil {
+			return reward, info, err
 		}
-		if data != nil {
-			if err := a.agent.LoadActorBytes(data); err != nil {
-				return reward, info, fmt.Errorf("apex: load params: %w", err)
-			}
-		}
-		a.version = v
 	}
 	return reward, info, nil
+}
+
+// Flush pushes any locally buffered experience to the learner. Step
+// calls it at the PushEvery cadence; remote actors also call it when
+// a run ends between boundaries, so no transitions are lost.
+func (a *Actor) Flush(learner LearnerAPI) error {
+	if len(a.local) == 0 {
+		return nil
+	}
+	if err := learner.PushExperience(a.local); err != nil {
+		return fmt.Errorf("apex: push: %w", err)
+	}
+	a.local = nil
+	return nil
+}
+
+// SyncParams pulls the learner's parameters when newer than the
+// actor's. Step calls it at the SyncEvery cadence; remote actors also
+// call it at startup so they act on the broadcast policy instead of
+// their own fresh random weights.
+func (a *Actor) SyncParams(learner LearnerAPI) error {
+	v, data, err := learner.PullParams(a.version)
+	if err != nil {
+		return fmt.Errorf("apex: pull: %w", err)
+	}
+	if data != nil {
+		if err := a.agent.LoadActorBytes(data); err != nil {
+			return fmt.Errorf("apex: load params: %w", err)
+		}
+	}
+	a.version = v
+	return nil
 }
 
 // Steps reports how many environment steps the actor has taken.

@@ -1,0 +1,51 @@
+// Package apex implements the distributed learning architecture of
+// Horgan et al. ("Distributed Prioritized Experience Replay") that
+// GreenNFV layers on top of DDPG (paper §4.3.2, Algorithm 3):
+// NF-controller actors generate experience under the current policy,
+// attach locally computed TD priorities, and push batches to a
+// central learner; the learner samples the shared prioritized replay,
+// updates the networks, and periodically broadcasts fresh parameters
+// back to the actors.
+//
+// # Paper mapping
+//
+// Algorithm 3 (NF_CONTROLLER actors + central learner) and the
+// six-node deployment of the paper's evaluation: NF controllers on
+// the chain-hosting servers feed one central learner. The training
+// curves of Figures 6–8 come from Trainer runs.
+//
+// # Training modes
+//
+// Trainer runs one of three modes:
+//
+//   - Round-robin (default): actors interleave single-threaded.
+//     Deterministic given the seeds — the mode behind every recorded
+//     figure; its outputs are byte-diffed across PRs.
+//   - Parallel (TrainerConfig.Parallel): actor goroutines step
+//     private environments while a sampler/learner pipeline
+//     (prefetch.go) runs batched updates over the lock-striped
+//     replay. Fastest in-process mode; NOT deterministic.
+//   - Remote (TrainerConfig.RemoteActors): the paper's multi-node
+//     split. The trainer serves the learner over net/rpc (rpc.go)
+//     and actors run as separate OS processes (cmd/apexactor,
+//     spawned via SpawnRemote or started externally against
+//     ListenAddr), reconstructing environments from a JSON ActorSpec
+//     and exchanging experience/parameters through a reconnecting
+//     RemoteLearner client. NOT deterministic.
+//
+// All three modes spend the same learner-update budget
+// (LearnPerStep × post-warmup steps), so they are comparable runs of
+// the same algorithm, not different algorithms.
+//
+// # Concurrency and determinism
+//
+// The Learner's experience ingest (PushExperience) is lock-free with
+// pooled conversion scratch — concurrent pushes neither serialize
+// each other nor stall behind a learning step; its mutex guards only
+// the parameter broadcast (version + serialized actor cache).
+// Actors are single-threaded and own their environments. The
+// net/rpc transport (Server/Client/RemoteLearner) is goroutine-safe;
+// per-actor connection lifecycle (registration, push stats, drain)
+// lives in LearnerService. Only the round-robin mode is
+// deterministic; tests and figures rely on it.
+package apex

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"greennfv/internal/rl/ddpg"
 	"greennfv/internal/rl/replay"
 )
 
@@ -32,6 +33,30 @@ func defaultReplayShards() int {
 	return shards
 }
 
+// installShardedReplay swaps the agent's replay for the lock-striped
+// buffer while it is still empty, so concurrent ingest and sampling
+// contend on shard locks, never on one global mutex. Shared by the
+// parallel and remote modes (both take concurrent pushes).
+func (t *Trainer) installShardedReplay(agent *ddpg.Agent) error {
+	if agent.BufferLen() != 0 {
+		return nil
+	}
+	acfg := agent.Config()
+	shards := t.cfg.ReplayShards
+	if shards <= 0 {
+		shards = defaultReplayShards()
+	}
+	sharded, err := replay.NewSharded(acfg.BufferCap, shards,
+		acfg.PERAlpha, acfg.PERBeta, acfg.PERBetaInc, acfg.Seed)
+	if err != nil {
+		return fmt.Errorf("apex: sharded replay: %w", err)
+	}
+	if err := agent.SetReplay(sharded); err != nil {
+		return fmt.Errorf("apex: sharded replay: %w", err)
+	}
+	return nil
+}
+
 // runParallel executes the pipeline: one goroutine per actor steps
 // its private environment and exchanges experience/parameters with
 // the learner, the sampler prefetches minibatches, and the learner
@@ -46,22 +71,8 @@ func (t *Trainer) runParallel() error {
 	acfg := agent.Config()
 	batch := acfg.BatchSize
 
-	// Install the lock-striped replay while the buffer is still
-	// empty: ingest and sampling then contend on shard locks, never
-	// on one global mutex.
-	if agent.BufferLen() == 0 {
-		shards := t.cfg.ReplayShards
-		if shards <= 0 {
-			shards = defaultReplayShards()
-		}
-		sharded, err := replay.NewSharded(acfg.BufferCap, shards,
-			acfg.PERAlpha, acfg.PERBeta, acfg.PERBetaInc, acfg.Seed)
-		if err != nil {
-			return fmt.Errorf("apex: sharded replay: %w", err)
-		}
-		if err := agent.SetReplay(sharded); err != nil {
-			return fmt.Errorf("apex: sharded replay: %w", err)
-		}
+	if err := t.installShardedReplay(agent); err != nil {
+		return err
 	}
 
 	var (

@@ -1,0 +1,234 @@
+package apex
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"strconv"
+	"sync"
+	"time"
+
+	"greennfv/internal/rl/ddpg"
+)
+
+// This file is the trainer-process side of the multi-process mode:
+// the trainer serves its learner over net/rpc (rpc.go), optionally
+// spawns the actor processes itself (SpawnRemote), paces learner
+// updates against the experience actually received, and drains the
+// round gracefully once the update budget is spent. The actor-process
+// side is remoteactor.go.
+
+// remotePollInterval is how often the pacing loop re-checks the
+// received-experience counter while waiting for actors. Unlike the
+// in-process pipeline (prefetch.go) there is no channel to block on —
+// experience arrives via RPC handlers — so a short sleep is the
+// honest alternative to busy-spinning.
+const remotePollInterval = 500 * time.Microsecond
+
+// normalizeSpec aligns a remote-actor spec with the trainer: the
+// agent template is always the learner's full configuration — the
+// same template in-process actors copy, so TD priorities, exploration
+// and (above all) network shape cannot silently diverge between
+// modes — and unset cadence/sigma fields inherit the trainer's.
+func normalizeSpec(spec *ActorSpec, cfg TrainerConfig, agentCfg ddpg.Config) {
+	spec.Agent = agentCfg
+	if spec.BaseSigma == 0 {
+		spec.BaseSigma = cfg.BaseSigma
+	}
+	if spec.PushEvery == 0 {
+		spec.PushEvery = cfg.PushEvery
+	}
+	if spec.SyncEvery == 0 {
+		spec.SyncEvery = cfg.SyncEvery
+	}
+}
+
+// spawnActor execs one actor process with the normalized spec on its
+// stdin. Child stderr is passed through so actor logs interleave with
+// the trainer's.
+func (t *Trainer) spawnActor(addr string, rank, steps int, specJSON []byte) (*exec.Cmd, error) {
+	argvPrefix := t.cfg.SpawnRemote
+	args := append(append([]string(nil), argvPrefix[1:]...),
+		"-learner", addr,
+		"-rank", strconv.Itoa(rank),
+		"-steps", strconv.Itoa(steps),
+		"-spec", "-",
+	)
+	cmd := exec.Command(argvPrefix[0], args...)
+	cmd.Stdin = bytes.NewReader(specJSON)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("apex: spawn actor %d (%s): %w", rank, argvPrefix[0], err)
+	}
+	return cmd, nil
+}
+
+// runRemote executes the multi-process mode: serve the learner over
+// RPC, launch (or await) RemoteActors actor processes, pace learner
+// updates against received experience, and drain gracefully.
+//
+// The update budget matches the round-robin mode exactly —
+// LearnPerStep updates per post-warmup environment step — but updates
+// are paced to the experience actually received (ROADMAP's "adaptive
+// learner pacing" in its simplest form): the learner never runs ahead
+// of the replay the way a free-running loop would while remote actors
+// are still warming up.
+func (t *Trainer) runRemote() error {
+	// Concurrent RPC pushes and the pacing loop's updates contend on
+	// the replay; give them the same lock-striped buffer the parallel
+	// mode uses (honoring cfg.ReplayShards).
+	if err := t.installShardedReplay(t.learner.Agent()); err != nil {
+		return err
+	}
+	spec := t.cfg.RemoteSpec
+	addr := t.cfg.ListenAddr
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	srv, err := Serve(t.learner, addr)
+	if err != nil {
+		return fmt.Errorf("apex: remote mode: %w", err)
+	}
+	defer srv.Close()
+	service := srv.Service()
+
+	var specJSON bytes.Buffer
+	if err := spec.Encode(&specJSON); err != nil {
+		return err
+	}
+
+	// Launch the actor fleet, splitting TotalSteps across ranks
+	// (earlier ranks absorb the remainder). With no SpawnRemote the
+	// actors are external: they connect to ListenAddr on their own
+	// and run until drained.
+	spawned := len(t.cfg.SpawnRemote) > 0
+	childrenDone := make(chan struct{})
+	var (
+		childMu  sync.Mutex
+		childErr error
+	)
+	if spawned {
+		share := t.cfg.TotalSteps / t.cfg.RemoteActors
+		extra := t.cfg.TotalSteps % t.cfg.RemoteActors
+		var cmds []*exec.Cmd
+		var ranks []int
+		for rank := 0; rank < t.cfg.RemoteActors; rank++ {
+			steps := share
+			if rank < extra {
+				steps++
+			}
+			if steps == 0 {
+				continue
+			}
+			cmd, err := t.spawnActor(srv.Addr(), rank, steps, specJSON.Bytes())
+			if err != nil {
+				// Don't strand already-started actors on a dead round.
+				for _, c := range cmds {
+					c.Process.Kill()
+					c.Wait()
+				}
+				return err
+			}
+			cmds = append(cmds, cmd)
+			ranks = append(ranks, rank)
+		}
+		var wg sync.WaitGroup
+		for i, cmd := range cmds {
+			wg.Add(1)
+			go func(rank int, cmd *exec.Cmd) {
+				defer wg.Done()
+				if err := cmd.Wait(); err != nil {
+					childMu.Lock()
+					if childErr == nil {
+						childErr = fmt.Errorf("apex: actor process %d: %w", rank, err)
+					}
+					childMu.Unlock()
+				}
+			}(ranks[i], cmd)
+		}
+		go func() {
+			wg.Wait()
+			close(childrenDone)
+		}()
+	}
+
+	// Pacing loop: spend the round-robin update budget, but never
+	// ahead of the experience received. Updates and RPC pushes run
+	// concurrently — PushExperience takes no learner mutex, so actors
+	// never stall behind an update.
+	budget := t.cfg.LearnPerStep * (t.cfg.TotalSteps - t.cfg.WarmupSteps)
+	updates := 0
+	done := false
+	for updates < budget {
+		if spawned && !done {
+			select {
+			case <-childrenDone:
+				done = true
+			default:
+			}
+		}
+		_, received := t.learner.Stats()
+		allowed := t.cfg.LearnPerStep * (received - t.cfg.WarmupSteps)
+		if done || allowed > budget {
+			// No more experience is coming (or the target is met):
+			// spend the remainder on what the actors left behind.
+			allowed = budget
+		}
+		for updates < allowed {
+			t.learner.LearnStep(t.cfg.VersionEvery)
+			updates++
+		}
+		if updates < budget {
+			time.Sleep(remotePollInterval)
+		}
+	}
+
+	// Graceful drain: every subsequent push is still accepted but
+	// tells its actor to stop. Spawned fleets are then simply waited
+	// for; external fleets are given until pushes quiesce.
+	service.BeginDrain()
+	if spawned {
+		<-childrenDone
+	} else {
+		quiesce(t.learner)
+	}
+	t.remoteStats = service.ActorStats()
+	_, received := t.learner.Stats()
+	if received > t.cfg.TotalSteps {
+		received = t.cfg.TotalSteps
+	}
+	t.steps = received
+	if err := srv.Close(); err != nil {
+		return err
+	}
+	childMu.Lock()
+	defer childMu.Unlock()
+	return childErr
+}
+
+// Note for external (non-spawned) fleets: the pacing loop terminates
+// only once TotalSteps transitions have been received — the trainer
+// blocks until its actors deliver. Give genuinely remote deployments
+// a step budget sized to what the fleet will actually produce.
+
+// quiesce waits until the learner stops receiving experience (two
+// consecutive quiet polls) or a bounded timeout, so external actors'
+// in-flight pushes land before the server closes.
+func quiesce(l *Learner) {
+	const poll = 50 * time.Millisecond
+	const limit = 3 * time.Second
+	_, last := l.Stats()
+	quiet := 0
+	for waited := time.Duration(0); waited < limit && quiet < 2; waited += poll {
+		time.Sleep(poll)
+		_, now := l.Stats()
+		if now == last {
+			quiet++
+		} else {
+			quiet = 0
+		}
+		last = now
+	}
+}

@@ -1,0 +1,245 @@
+package apex
+
+import (
+	"fmt"
+	"net/rpc"
+	"sync"
+	"time"
+)
+
+// This file is the actor-process side of the multi-process mode: a
+// LearnerAPI implementation that survives learner restarts
+// (RemoteLearner) and the run loop cmd/apexactor executes
+// (RunRemoteActor). The trainer-process side is remote.go.
+
+// RemoteLearner is a LearnerAPI backed by an RPC connection that
+// redials with exponential backoff when the transport fails, so a
+// learner restart (or a transient network fault) does not kill the
+// actor. Application-level errors returned by the learner are not
+// retried — only transport failures are.
+//
+// A RemoteLearner is used by one actor goroutine; it is not
+// goroutine-safe beyond the internal reconnect bookkeeping.
+type RemoteLearner struct {
+	addr    string
+	actorID int
+
+	// MaxRetries bounds redial attempts per call (total tries =
+	// MaxRetries+1); Backoff is the initial retry delay, doubling per
+	// attempt.
+	MaxRetries int
+	Backoff    time.Duration
+
+	mu      sync.Mutex
+	client  *Client
+	version int  // newest parameter version pulled, reported in pushes
+	drain   bool // learner asked us to stop
+}
+
+// NewRemoteLearner builds a lazily-dialing client for the learner at
+// addr, identifying itself as actor actorID in pushes. The first RPC
+// establishes the connection.
+func NewRemoteLearner(addr string, actorID int) *RemoteLearner {
+	return &RemoteLearner{
+		addr:       addr,
+		actorID:    actorID,
+		MaxRetries: 5,
+		Backoff:    50 * time.Millisecond,
+	}
+}
+
+// conn returns the live connection, dialing if needed.
+func (r *RemoteLearner) conn() (*Client, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.client == nil {
+		c, err := Dial(r.addr)
+		if err != nil {
+			return nil, err
+		}
+		r.client = c
+	}
+	return r.client, nil
+}
+
+// dropConn discards a connection observed failing, so the next call
+// redials. Only drops it if no other call already replaced it.
+func (r *RemoteLearner) dropConn(c *Client) {
+	r.mu.Lock()
+	if r.client == c {
+		r.client.Close()
+		r.client = nil
+	}
+	r.mu.Unlock()
+}
+
+// retriable reports whether an RPC error is transport-level (worth a
+// redial) rather than an application error from the learner itself.
+// net/rpc surfaces server-side errors as rpc.ServerError; everything
+// else here is a connection fault.
+func retriable(err error) bool {
+	_, isApp := err.(rpc.ServerError)
+	return !isApp
+}
+
+// call invokes one RPC method, redialing with exponential backoff on
+// transport failures.
+func (r *RemoteLearner) call(method string, args, reply any) error {
+	backoff := r.Backoff
+	var lastErr error
+	for attempt := 0; attempt <= r.MaxRetries; attempt++ {
+		c, err := r.conn()
+		if err == nil {
+			if err = c.rc.Call(method, args, reply); err == nil {
+				return nil
+			}
+			if !retriable(err) {
+				return err
+			}
+			r.dropConn(c)
+		}
+		lastErr = err
+		if attempt < r.MaxRetries {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+	}
+	return fmt.Errorf("apex: %s to %s failed after %d attempts: %w",
+		method, r.addr, r.MaxRetries+1, lastErr)
+}
+
+// Register announces the actor and returns the learner's current
+// parameter version.
+func (r *RemoteLearner) Register() (int, error) {
+	var reply RegisterReply
+	if err := r.call("Learner.Register", &RegisterArgs{ActorID: r.actorID}, &reply); err != nil {
+		return 0, err
+	}
+	return reply.Version, nil
+}
+
+// PushExperience implements LearnerAPI, tagging the batch with the
+// actor's rank and current parameter version and latching the
+// learner's drain signal from the reply.
+func (r *RemoteLearner) PushExperience(batch []Experience) error {
+	r.mu.Lock()
+	args := PushArgs{Batch: batch, ActorID: r.actorID, Version: r.version}
+	r.mu.Unlock()
+	var reply PushReply
+	if err := r.call("Learner.Push", &args, &reply); err != nil {
+		return err
+	}
+	if reply.Drain {
+		r.mu.Lock()
+		r.drain = true
+		r.mu.Unlock()
+	}
+	return nil
+}
+
+// PullParams implements LearnerAPI.
+func (r *RemoteLearner) PullParams(haveVersion int) (int, []byte, error) {
+	var reply PullReply
+	if err := r.call("Learner.Pull", &PullArgs{HaveVersion: haveVersion}, &reply); err != nil {
+		return 0, nil, err
+	}
+	r.mu.Lock()
+	if reply.Version > r.version {
+		r.version = reply.Version
+	}
+	r.mu.Unlock()
+	return reply.Version, reply.ActorBytes, nil
+}
+
+// Draining reports whether the learner has asked this actor to stop.
+func (r *RemoteLearner) Draining() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.drain
+}
+
+// Close releases the connection.
+func (r *RemoteLearner) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.client == nil {
+		return nil
+	}
+	err := r.client.Close()
+	r.client = nil
+	return err
+}
+
+var _ LearnerAPI = (*RemoteLearner)(nil)
+
+// RemoteActorOptions parameterizes one remote actor run.
+type RemoteActorOptions struct {
+	// Addr is the learner's RPC address.
+	Addr string
+	// Rank is the actor's position on the exploration ladder (also
+	// its ActorID in learner-side stats).
+	Rank int
+	// Steps overrides the spec's step budget when positive; with both
+	// zero the actor runs until the learner signals drain.
+	Steps int
+	// Logf, when non-nil, receives progress messages.
+	Logf func(format string, args ...any)
+}
+
+// RunRemoteActor is the main loop of an actor process: build the
+// environment and local network from the spec, register with the
+// learner, sync the initial parameters, then step/push/pull until the
+// step budget is spent or the learner drains the round. The local
+// experience buffer is flushed before returning so no transitions are
+// lost.
+func RunRemoteActor(spec ActorSpec, opt RemoteActorOptions) error {
+	logf := opt.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	e, err := spec.BuildEnv(opt.Rank)
+	if err != nil {
+		return fmt.Errorf("apex: actor %d env: %w", opt.Rank, err)
+	}
+	acfg := spec.agentConfig(e.StateDim(), e.ActionDim(), opt.Rank)
+	actor, err := NewActor(ActorConfig{
+		ID: opt.Rank, Env: e, AgentConfig: acfg,
+		PushEvery: spec.PushEvery, SyncEvery: spec.SyncEvery,
+	})
+	if err != nil {
+		return fmt.Errorf("apex: actor %d: %w", opt.Rank, err)
+	}
+
+	learner := NewRemoteLearner(opt.Addr, opt.Rank)
+	defer learner.Close()
+	version, err := learner.Register()
+	if err != nil {
+		return fmt.Errorf("apex: actor %d register: %w", opt.Rank, err)
+	}
+	logf("actor %d registered with learner %s (param version %d, sigma %.3f)",
+		opt.Rank, opt.Addr, version, acfg.OUSigma)
+	// Start on the learner's current policy rather than this
+	// process's fresh random weights.
+	if err := actor.SyncParams(learner); err != nil {
+		return fmt.Errorf("apex: actor %d initial sync: %w", opt.Rank, err)
+	}
+
+	steps := opt.Steps
+	if steps <= 0 {
+		steps = spec.Steps
+	}
+	for i := 0; steps <= 0 || i < steps; i++ {
+		if _, _, err := actor.Step(learner); err != nil {
+			return fmt.Errorf("apex: actor %d step %d: %w", opt.Rank, i, err)
+		}
+		if learner.Draining() {
+			logf("actor %d draining after %d steps", opt.Rank, actor.Steps())
+			break
+		}
+	}
+	if err := actor.Flush(learner); err != nil {
+		return fmt.Errorf("apex: actor %d flush: %w", opt.Rank, err)
+	}
+	logf("actor %d done: %d env steps", opt.Rank, actor.Steps())
+	return nil
+}

@@ -6,21 +6,47 @@ import (
 	"net"
 	"net/rpc"
 	"sync"
+	"sync/atomic"
 )
 
 // The RPC transport lets actors run in separate processes or on
 // separate machines, matching the paper's six-node deployment where
 // NF controllers on the chain-hosting servers feed one central
-// learner. Payloads are gob-encoded by net/rpc.
+// learner. Payloads are gob-encoded by net/rpc. The trainer's remote
+// mode (remote.go) serves a Learner here and spawns cmd/apexactor
+// processes against it; LearnerService adds the connection-lifecycle
+// half — actor registration, per-actor push statistics, and the
+// graceful drain signal that ends a round.
 
 // PushArgs is the RPC request for experience submission.
 type PushArgs struct {
 	Batch []Experience
+	// ActorID identifies the pushing actor (its rank) for the
+	// learner-side per-actor statistics.
+	ActorID int
+	// Version is the parameter version the actor is currently acting
+	// with, so the learner can observe broadcast propagation.
+	Version int
 }
 
 // PushReply acknowledges a push.
 type PushReply struct {
 	Accepted int
+	// Drain tells the actor the learner has spent its budget: stop
+	// generating experience and exit cleanly. The pushed batch is
+	// still accepted.
+	Drain bool
+}
+
+// RegisterArgs announces an actor to the learner.
+type RegisterArgs struct {
+	ActorID int
+}
+
+// RegisterReply returns the current parameter version so a freshly
+// started actor can pull immediately.
+type RegisterReply struct {
+	Version int
 }
 
 // PullArgs requests parameters newer than HaveVersion.
@@ -35,17 +61,77 @@ type PullReply struct {
 	ActorBytes []byte
 }
 
-// LearnerService is the net/rpc wrapper around a Learner.
-type LearnerService struct {
-	learner *Learner
+// ActorStats is the learner-side record of one remote actor's
+// connection lifecycle: what it pushed and which parameter version it
+// last reported acting with.
+type ActorStats struct {
+	// Registered is true once the actor announced itself.
+	Registered bool
+	// Pushes and Transitions count experience submissions.
+	Pushes, Transitions int
+	// LastVersion is the newest parameter version the actor reported
+	// (in a Push); it trails the learner's version by at most one
+	// SyncEvery interval, which is how tests observe broadcast
+	// propagation.
+	LastVersion int
 }
 
-// Push is the RPC method actors call to submit experience.
+// LearnerService is the net/rpc wrapper around a Learner. Beyond the
+// two LearnerAPI methods it tracks per-actor statistics and carries
+// the drain signal that ends a remote training round gracefully.
+type LearnerService struct {
+	learner *Learner
+	drain   atomic.Bool
+	mu      sync.Mutex
+	actors  map[int]*ActorStats
+}
+
+// NewLearnerService wraps a learner for RPC registration.
+func NewLearnerService(learner *Learner) *LearnerService {
+	return &LearnerService{learner: learner, actors: make(map[int]*ActorStats)}
+}
+
+// Register is the RPC method actors call once at startup.
+func (s *LearnerService) Register(args *RegisterArgs, reply *RegisterReply) error {
+	s.mu.Lock()
+	s.stats(args.ActorID).Registered = true
+	s.mu.Unlock()
+	v, _, err := s.learner.PullParams(0)
+	if err != nil {
+		return err
+	}
+	reply.Version = v
+	return nil
+}
+
+// stats returns the record for one actor. Caller holds mu.
+func (s *LearnerService) stats(id int) *ActorStats {
+	st, ok := s.actors[id]
+	if !ok {
+		st = &ActorStats{}
+		s.actors[id] = st
+	}
+	return st
+}
+
+// Push is the RPC method actors call to submit experience. A batch
+// pushed while the service is draining is still accepted (the
+// experience is real; dropping it would waste actor work), but the
+// reply tells the actor to stop.
 func (s *LearnerService) Push(args *PushArgs, reply *PushReply) error {
 	if err := s.learner.PushExperience(args.Batch); err != nil {
 		return err
 	}
+	s.mu.Lock()
+	st := s.stats(args.ActorID)
+	st.Pushes++
+	st.Transitions += len(args.Batch)
+	if args.Version > st.LastVersion {
+		st.LastVersion = args.Version
+	}
+	s.mu.Unlock()
 	reply.Accepted = len(args.Batch)
+	reply.Drain = s.drain.Load()
 	return nil
 }
 
@@ -60,13 +146,37 @@ func (s *LearnerService) Pull(args *PullArgs, reply *PullReply) error {
 	return nil
 }
 
-// Server hosts a Learner over TCP.
+// BeginDrain flips the drain flag: every subsequent Push reply asks
+// its actor to stop. Called by the trainer once the update budget is
+// spent (or the experience target reached).
+func (s *LearnerService) BeginDrain() { s.drain.Store(true) }
+
+// Draining reports whether drain has begun.
+func (s *LearnerService) Draining() bool { return s.drain.Load() }
+
+// ActorStats returns a copy of the per-actor records.
+func (s *LearnerService) ActorStats() map[int]ActorStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[int]ActorStats, len(s.actors))
+	for id, st := range s.actors {
+		out[id] = *st
+	}
+	return out
+}
+
+// Server hosts a Learner over TCP. It tracks its open connections so
+// Close can tear them down: an rpc.ServeConn handler otherwise blocks
+// reading the next request until its *client* hangs up, which would
+// make Close wait on actors that never disconnect.
 type Server struct {
 	learner  *Learner
+	service  *LearnerService
 	listener net.Listener
 	rpcSrv   *rpc.Server
 	wg       sync.WaitGroup
 	mu       sync.Mutex
+	conns    map[net.Conn]struct{}
 	closed   bool
 }
 
@@ -78,14 +188,18 @@ func Serve(learner *Learner, addr string) (*Server, error) {
 		return nil, errors.New("apex: nil learner")
 	}
 	srv := rpc.NewServer()
-	if err := srv.RegisterName("Learner", &LearnerService{learner: learner}); err != nil {
+	service := NewLearnerService(learner)
+	if err := srv.RegisterName("Learner", service); err != nil {
 		return nil, err
 	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{learner: learner, listener: ln, rpcSrv: srv}
+	s := &Server{
+		learner: learner, service: service, listener: ln, rpcSrv: srv,
+		conns: make(map[net.Conn]struct{}),
+	}
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
@@ -94,10 +208,21 @@ func Serve(learner *Learner, addr string) (*Server, error) {
 			if err != nil {
 				return // listener closed
 			}
+			s.mu.Lock()
+			if s.closed {
+				s.mu.Unlock()
+				conn.Close()
+				return
+			}
+			s.conns[conn] = struct{}{}
+			s.mu.Unlock()
 			s.wg.Add(1)
 			go func() {
 				defer s.wg.Done()
 				srv.ServeConn(conn)
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
 			}()
 		}
 	}()
@@ -107,7 +232,14 @@ func Serve(learner *Learner, addr string) (*Server, error) {
 // Addr reports the listening address.
 func (s *Server) Addr() string { return s.listener.Addr().String() }
 
-// Close stops accepting connections and waits for in-flight handlers.
+// Service exposes the RPC service for lifecycle control (drain,
+// per-actor stats).
+func (s *Server) Service() *LearnerService { return s.service }
+
+// Close stops accepting connections, disconnects the remaining
+// clients, and waits for in-flight handlers. Actors surviving the
+// learner see transport errors (and, if they use RemoteLearner,
+// retry until the learner returns or their backoff budget runs out).
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -115,13 +247,19 @@ func (s *Server) Close() error {
 		return nil
 	}
 	s.closed = true
+	for conn := range s.conns {
+		conn.Close()
+	}
 	s.mu.Unlock()
 	err := s.listener.Close()
 	s.wg.Wait()
 	return err
 }
 
-// Client is a LearnerAPI backed by a TCP connection to a Server.
+// Client is a LearnerAPI backed by a single TCP connection to a
+// Server; once the connection drops its calls fail permanently. Actor
+// processes use RemoteLearner, which wraps the same calls with
+// redial-and-retry.
 type Client struct {
 	rc *rpc.Client
 }

@@ -87,6 +87,29 @@ type TrainerConfig struct {
 	// Ignored by the deterministic round-robin mode, which keeps the
 	// single-tree buffer.
 	ReplayShards int
+	// RemoteActors selects the multi-process mode (the paper's
+	// six-node deployment): the trainer serves the learner over
+	// net/rpc and RemoteActors actor processes connect as RPC
+	// clients, each with its own environment and exploration
+	// intensity. Actors/EnvFactory/Parallel are ignored; RemoteSpec
+	// is required. Like Parallel, the run is not deterministic; the
+	// figure harness keeps round-robin.
+	RemoteActors int
+	// SpawnRemote, when non-empty, is the argv prefix the trainer
+	// execs to launch each actor process (typically the cmd/apexactor
+	// binary). The trainer appends "-learner ADDR -rank R -steps N"
+	// and writes the normalized RemoteSpec JSON to the child's stdin.
+	// Empty means actors are launched externally (multi-machine
+	// deployments) and connect to ListenAddr themselves.
+	SpawnRemote []string
+	// ListenAddr is the learner's RPC bind address in remote mode
+	// ("" = 127.0.0.1 on an ephemeral port, the right choice when
+	// SpawnRemote runs actors on this host).
+	ListenAddr string
+	// RemoteSpec tells remote actor processes how to rebuild the
+	// environment and local network; the trainer normalizes cadence,
+	// network shape and seeds from this config before serving it.
+	RemoteSpec *ActorSpec
 	// EnvFactory builds one environment per actor (distinct seeds).
 	EnvFactory func(actorID int) (*env.Env, error)
 	// AgentConfig templates the learner and actor networks; state
@@ -115,23 +138,38 @@ func DefaultTrainerConfig(totalSteps int) TrainerConfig {
 	}
 }
 
-// Trainer orchestrates an in-process Ape-X run.
+// Trainer orchestrates an Ape-X run: in-process actors (round-robin
+// or Parallel) or remote actor processes (RemoteActors).
 type Trainer struct {
 	cfg     TrainerConfig
 	learner *Learner
 	actors  []*Actor
-	// Snapshots is the recorded training curve.
-	Snapshots []Snapshot
-	steps     int
+	// Snapshots is the recorded training curve. Remote mode records
+	// none: actor environments live in other processes.
+	Snapshots   []Snapshot
+	steps       int
+	remoteStats map[int]ActorStats
 }
 
 // NewTrainer wires the learner and actors.
 func NewTrainer(cfg TrainerConfig) (*Trainer, error) {
-	if cfg.Actors <= 0 {
+	remote := cfg.RemoteActors > 0
+	if !remote && cfg.Actors <= 0 {
 		return nil, errors.New("apex: need at least one actor")
 	}
 	if cfg.TotalSteps <= 0 {
 		return nil, errors.New("apex: TotalSteps must be positive")
+	}
+	if remote {
+		if cfg.RemoteSpec == nil {
+			return nil, errors.New("apex: remote mode needs a RemoteSpec")
+		}
+		// The spec is the single source of truth in remote mode: the
+		// learner's dimension probe must come from the same env
+		// construction the actor processes will use, or the learner
+		// and actor network shapes could silently diverge. Any
+		// caller-supplied EnvFactory is ignored, as documented.
+		cfg.EnvFactory = cfg.RemoteSpec.EnvFactory()
 	}
 	if cfg.EnvFactory == nil {
 		return nil, errors.New("apex: need an environment factory")
@@ -153,6 +191,17 @@ func NewTrainer(cfg TrainerConfig) (*Trainer, error) {
 		return nil, err
 	}
 	t := &Trainer{cfg: cfg, learner: learner}
+	if remote {
+		// Normalize a private copy of the spec so actor processes
+		// reconstruct networks and cadence that match this learner.
+		spec := *cfg.RemoteSpec
+		normalizeSpec(&spec, t.cfg, agentCfg)
+		if err := spec.Validate(); err != nil {
+			return nil, err
+		}
+		t.cfg.RemoteSpec = &spec
+		return t, nil
+	}
 	for i := 0; i < cfg.Actors; i++ {
 		e := probe
 		if i > 0 {
@@ -184,15 +233,23 @@ func (t *Trainer) Learner() *Learner { return t.learner }
 // Actors exposes the actor pool.
 func (t *Trainer) Actors() []*Actor { return t.actors }
 
-// Run executes the configured number of steps, either deterministic
-// round-robin (default) or truly concurrent (cfg.Parallel), recording
-// snapshots from actor 0.
+// Run executes the configured number of steps: deterministic
+// round-robin (default, snapshots from actor 0), truly concurrent
+// in-process (cfg.Parallel), or multi-process over net/rpc
+// (cfg.RemoteActors).
 func (t *Trainer) Run() error {
+	if t.cfg.RemoteActors > 0 {
+		return t.runRemote()
+	}
 	if t.cfg.Parallel {
 		return t.runParallel()
 	}
 	return t.runRoundRobin()
 }
+
+// RemoteActorStats returns the learner-side per-actor records of the
+// last remote run (rank → stats); nil for in-process runs.
+func (t *Trainer) RemoteActorStats() map[int]ActorStats { return t.remoteStats }
 
 // runRoundRobin interleaves actors single-threaded — deterministic,
 // which suits both tests and the figure harness.

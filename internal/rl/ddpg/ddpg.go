@@ -1,8 +1,3 @@
-// Package ddpg implements Deep Deterministic Policy Gradient
-// (Lillicrap et al., ICLR'16) — Algorithm 2 of the GreenNFV paper:
-// an actor-critic method for continuous, high-dimensional action
-// spaces, which is why the paper selects it over Q-learning and DQN
-// for the five-knobs-per-NF resource-control problem.
 package ddpg
 
 import (

@@ -1,0 +1,36 @@
+// Package ddpg implements Deep Deterministic Policy Gradient
+// (Lillicrap et al., ICLR'16) — Algorithm 2 of the GreenNFV paper:
+// an actor-critic method for continuous, high-dimensional action
+// spaces, which is why the paper selects it over Q-learning and DQN
+// for the five-knobs-per-NF resource-control problem.
+//
+// # Paper mapping
+//
+// Algorithm 2 end to end: OU exploration noise (line 1), prioritized
+// minibatch sampling (line 3), critic regression and actor gradient
+// (lines 5–8), soft target updates (lines 9–10). The trained actor
+// is the policy deployed in Figures 6–11.
+//
+// # Concurrency and determinism
+//
+// An Agent is NOT goroutine-safe; the Ape-X learner serializes
+// updates and actors own private Agent copies. Training is
+// deterministic given Config.Seed and a fixed replay history (up to
+// the CPU-feature caveat documented in internal/nn), which is what
+// keeps the round-robin training figures byte-identical.
+//
+// Learn is organized as sample + learnMinibatch: Learn draws a
+// prioritized minibatch and hands it to the shared update step, and
+// the Ape-X pipeline calls the same step through LearnBatch with a
+// prefetched minibatch instead. Both run three batched network
+// passes over reusable scratch (zero allocations per update,
+// including sampling, pinned by benchmarks). LearnBatch additionally
+// takes the fused path — one 2n-row critic forward over [regression;
+// (s,μ(s)) probes] with nn.BackwardBatchSplit, where dQ/da reads the
+// pre-update critic — which is bit-unidentical to the unfused order
+// and therefore used only by the non-deterministic parallel mode;
+// the unfused path is op-identical to the original Learn and stays
+// on the figure path. The replay behind Observe/ObserveBatch is
+// goroutine-safe (see internal/replay), so experience ingest may run
+// concurrently with action selection but not with updates.
+package ddpg

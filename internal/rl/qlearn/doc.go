@@ -1,0 +1,14 @@
+// Package qlearn implements the paper's tabular Q-learning baseline
+// (Watkins & Dayan): state and action spaces are discretized — the
+// paper's §4.3 explains why this scales poorly (k levels over 5 knobs
+// gives O(k^5) actions) and why fine-tuning in real time is hard for
+// it, which is exactly the behaviour the comparison in Figure 9
+// demonstrates. The implementation applies one uniform knob set
+// across the chain (per-NF tables would be k^(5n)).
+//
+// # Concurrency and determinism
+//
+// A Learner is NOT goroutine-safe and is deterministic given its
+// seed: ε-greedy exploration draws from a private RNG, so the
+// Figure 9 comparison rows replay exactly.
+package qlearn

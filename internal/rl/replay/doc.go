@@ -1,0 +1,28 @@
+// Package replay provides experience-replay buffers for DDPG: a
+// uniform ring buffer and the prioritized buffer (Schaul et al.,
+// "Prioritized Experience Replay") that the Ape-X architecture
+// (Horgan et al.) extends to distributed actors. Priorities live in
+// a sum tree so sampling and updates are O(log n).
+//
+// # Paper mapping
+//
+// The shared prioritized replay of §4.3.2/Algorithm 3 — the buffer
+// NF-controller actors fill and the central learner samples.
+//
+// # Concurrency and determinism
+//
+// All buffers are goroutine-safe. Uniform and Prioritized each use
+// one internal mutex (Prioritized's guards the sum tree), and
+// AddBatch/UpdatePrioritiesBatch amortize it to one acquire per
+// chunk. Sharded is the lock-striped variant the
+// parallel/remote Ape-X modes install: K shards, each with its own
+// sum tree and RNG stream, round-robin chunk ingest (one shard lock
+// per AddBatch chunk), stratified SampleInto with boundary carry
+// (unbiased — total-variation distance to the single-tree sampler is
+// pinned < 0.03 by a parity test), and an atomic Len. Sampling from
+// either prioritized buffer is deterministic given the caller's RNG
+// and the insertion history; the deterministic round-robin figure
+// path uses the single-tree Prioritized so recorded training curves
+// replay exactly. SampleInto variants are the zero-alloc sampling
+// path (caller-owned slices).
+package replay

@@ -1,8 +1,3 @@
-// Package replay provides experience-replay buffers for DDPG: a
-// uniform ring buffer and the prioritized buffer (Schaul et al.,
-// "Prioritized Experience Replay") that the Ape-X architecture
-// (Horgan et al.) extends to distributed actors. Priorities live in
-// a sum tree so sampling and updates are O(log n).
 package replay
 
 import (

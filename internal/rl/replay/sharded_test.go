@@ -79,7 +79,7 @@ func TestShardedAddBatchChunks(t *testing.T) {
 	for c := 0; c < 10; c++ { // 80 transitions into 32 slots
 		for i := range chunk {
 			chunk[i] = tr(float64(c*8 + i))
-			prios[i] = rand.New(rand.NewSource(int64(c*8 + i))).Float64() + 0.1
+			prios[i] = rand.New(rand.NewSource(int64(c*8+i))).Float64() + 0.1
 		}
 		s.AddBatch(chunk, prios)
 	}

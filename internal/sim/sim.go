@@ -1,11 +1,3 @@
-// Package sim is a discrete-event simulator of an NF service chain:
-// a tandem of FIFO servers with finite queues, driven by any arrival
-// process from internal/traffic. It provides an independent check on
-// the analytic performance model — the two share per-NF service
-// times but nothing else, so agreement on throughput and saturation
-// behaviour validates the capacity math — and it produces the
-// latency distributions the analytic model cannot (the paper's
-// related work cares about delay-sensitive chains).
 package sim
 
 import (
@@ -226,8 +218,8 @@ func Run(cfg Config, arr traffic.Arrival) (Result, error) {
 		latCap = 5e6
 	}
 	res := Result{
-		Dropped: make([]int64, len(stages)),
-		Latency: stats.NewHistogram(0, latCap, 512),
+		Dropped:  make([]int64, len(stages)),
+		Latency:  stats.NewHistogram(0, latCap, 512),
 		BusyFrac: make([]float64, 0, len(stages)),
 	}
 

@@ -1,0 +1,22 @@
+// Package sla defines the three service-level-agreement optimization
+// targets of the paper (§4.1) and their reinforcement-learning reward
+// signals (§4.3.1):
+//
+//   - Maximum Throughput (eq. 1): maximize ΣT subject to E ≤ E_SLA.
+//   - Minimum Energy (eq. 2): minimize ΣE subject to T ≥ T_SLA.
+//   - Energy Efficiency (eq. 3): maximize λ = T/E, unconstrained.
+//
+// The reward semantics follow §5 exactly: the constrained SLAs issue
+// rewards only while their constraint holds (the agent earns nothing
+// for fast-but-over-budget or cheap-but-too-slow configurations).
+// PenaltyWeight optionally selects shaped rewards instead of the flat
+// zero — the reward-shaping ablation compares the two.
+//
+// # Concurrency and determinism
+//
+// SLA is a plain value with pure, deterministic methods
+// (Satisfied/Violation/Reward/Describe) — safe to copy and share,
+// and serializable (it rides inside apex.ActorSpec to remote actor
+// processes as JSON). Tracker accumulates violation statistics and
+// is NOT goroutine-safe; each measurement loop owns one.
+package sla

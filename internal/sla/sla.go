@@ -1,14 +1,3 @@
-// Package sla defines the three service-level-agreement optimization
-// targets of the paper (§4.1) and their reinforcement-learning reward
-// signals (§4.3.1):
-//
-//   - Maximum Throughput (eq. 1): maximize ΣT subject to E ≤ E_SLA.
-//   - Minimum Energy (eq. 2): minimize ΣE subject to T ≥ T_SLA.
-//   - Energy Efficiency (eq. 3): maximize λ = T/E, unconstrained.
-//
-// The reward semantics follow §5 exactly: the constrained SLAs issue
-// rewards only while their constraint holds (the agent earns nothing
-// for fast-but-over-budget or cheap-but-too-slow configurations).
 package sla
 
 import (

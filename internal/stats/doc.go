@@ -1,0 +1,20 @@
+// Package stats provides the small statistical toolkit GreenNFV uses to
+// characterize network flows: online moments, exponential smoothing,
+// the Double Exponential Smoothing predictor used by the EE-Pstate
+// baseline, histograms with percentile queries, rate estimation and
+// burstiness (index of dispersion) measurement.
+//
+// # Paper mapping
+//
+// The DES predictor is the traffic-forecasting half of the Iqbal &
+// John EE-Pstate comparison controller (Figure 9); the burstiness
+// estimator quantifies the index-of-dispersion axis of the traffic
+// model.
+//
+// # Concurrency and determinism
+//
+// Everything here is allocation-free on the hot path, RNG-free and
+// deterministic, and safe to embed by value; none of the types are
+// goroutine-safe unless stated — each measurement loop owns its
+// accumulators.
+package stats

@@ -1,11 +1,3 @@
-// Package stats provides the small statistical toolkit GreenNFV uses to
-// characterize network flows: online moments, exponential smoothing,
-// the Double Exponential Smoothing predictor used by the EE-Pstate
-// baseline, histograms with percentile queries, rate estimation and
-// burstiness (index of dispersion) measurement.
-//
-// Everything here is allocation-free on the hot path and safe to embed
-// by value; none of the types are goroutine-safe unless stated.
 package stats
 
 import "math"

@@ -1,0 +1,51 @@
+// Package sweep is the multi-seed, multi-scenario experiment harness:
+// it trains one GreenNFV controller per (seed × SLA tier × traffic
+// mix) grid cell over the shared bounded worker pool and emits one
+// JSON row per cell, so sensitivity studies — how robust is each SLA
+// model across seeds and offered loads — and new scenarios run from
+// one entry point (cmd/experiments -sweep) instead of ad-hoc figure
+// drivers.
+//
+// # JSONL row schema
+//
+// WriteJSONL emits one compact JSON object per grid cell (one line
+// per cell, seed-major order). The schema is a stable contract —
+// downstream figure drivers consume these rows — and changes to it
+// must stay backward-compatible (add fields, never rename or repurpose
+// them). Fields, in emission order:
+//
+//   - "seed" (int): the training seed of this cell.
+//   - "sla" (string): the SLA tier's grid name, e.g. "maxT-2000J",
+//     "minE-7.5G", "ee" (see DefaultTiers).
+//   - "sla_detail" (string): the human-readable SLA description from
+//     sla.SLA.Describe, e.g. "max throughput s.t. energy <= 2000 J".
+//   - "traffic" (string): the traffic mix's grid name — "standard",
+//     "light", "heavy" (see DefaultMixes).
+//   - "train_steps" (int): Ape-X training budget of the cell.
+//   - "actors" (int): Ape-X actor count used in training.
+//   - "control_steps" (int): post-training measurement horizon.
+//   - "throughput_gbps" (float): settled mean throughput over the
+//     last quarter of the control horizon (the Figure 9 idiom).
+//   - "energy_j" (float): settled mean energy per 10 s measurement
+//     window, same settling rule.
+//   - "efficiency_gbps_per_kj" (float): throughput_gbps /
+//     (energy_j/1000) — the paper's λ; 0 when energy_j is 0.
+//   - "violation_rate" (float): fraction of ALL control intervals
+//     (not just settled ones) whose measurement violated the SLA.
+//   - "mean_violation" (float): mean violation magnitude over
+//     violating intervals (sla.Tracker.MeanViolation); 0 when none.
+//   - "train_seconds" (float): wall-clock training time of the cell.
+//   - "error" (string, omitted when empty): the cell's failure, if
+//     any; a failing cell still emits its row with the identity and
+//     budget fields filled.
+//
+// # Concurrency and determinism
+//
+// Cells run concurrently (Config.Workers, 0 = GOMAXPROCS) over
+// internal/pool, but results are returned — and rows emitted — in
+// deterministic seed-major grid order regardless of scheduling.
+// With the default round-robin trainer each cell is deterministic
+// given its seed; Config.ParallelTrain trades that determinism for
+// speed. A failing cell records its error in its own row without
+// stopping the rest of the grid.
+package sweep

@@ -1,10 +1,3 @@
-// Package sweep is the multi-seed, multi-scenario experiment harness:
-// it trains one GreenNFV controller per (seed × SLA tier × traffic
-// mix) grid cell over the shared bounded worker pool and emits one
-// JSON row per cell, so sensitivity studies — how robust is each SLA
-// model across seeds and offered loads — and new scenarios run from
-// one entry point (cmd/experiments -sweep) instead of ad-hoc figure
-// drivers.
 package sweep
 
 import (

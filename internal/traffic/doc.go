@@ -1,0 +1,25 @@
+// Package traffic synthesizes network load the way the paper's
+// MoonGen testbed did: UDP and TCP flows at configurable frame sizes
+// (64–1518 B) and rates up to 10 GbE line rate, with CBR, Poisson,
+// MMPP (bursty) and on/off arrival processes.
+//
+// Frames carry real Ethernet/IPv4/UDP(TCP) headers built with
+// encoding/binary so the NF library (firewall, NAT, router, IDS …)
+// parses and rewrites genuine protocol fields rather than opaque
+// blobs.
+//
+// # Paper mapping
+//
+// The offered-load side of every experiment: the five-flow
+// evaluation mix, the frame-size axis of Figure 3, and the arrival
+// processes that drive both the DES validation (internal/sim) and
+// the packet-level harness (cmd/nfvsim).
+//
+// # Concurrency and determinism
+//
+// Arrival processes take the caller's *rand.Rand: given a seeded RNG
+// a generated arrival sequence replays exactly, which is what the
+// seeded environments and DES runs build on. Generators and flows
+// are NOT goroutine-safe — one RNG, one owner; concurrent load
+// sources each get their own generator and seed.
+package traffic

@@ -1,12 +1,3 @@
-// Package traffic synthesizes network load the way the paper's
-// MoonGen testbed did: UDP and TCP flows at configurable frame sizes
-// (64–1518 B) and rates up to 10 GbE line rate, with CBR, Poisson,
-// MMPP (bursty) and on/off arrival processes.
-//
-// Frames carry real Ethernet/IPv4/UDP(TCP) headers built with
-// encoding/binary so the NF library (firewall, NAT, router, IDS …)
-// parses and rewrites genuine protocol fields rather than opaque
-// blobs.
 package traffic
 
 import (

@@ -1,0 +1,28 @@
+#!/bin/sh
+# checkdocs.sh asserts that every package under internal/ (and the
+# root package) carries a package comment — the architecture contract
+# this repo documents in per-package doc.go files. CI runs this after
+# gofmt; it fails listing the undocumented packages.
+set -eu
+cd "$(dirname "$0")/.."
+
+fail=0
+for dir in $(go list -f '{{.Dir}}' ./internal/... ./); do
+    ok=0
+    for f in "$dir"/*.go; do
+        case "$f" in *_test.go) continue ;; esac
+        if grep -q '^// Package ' "$f"; then
+            ok=1
+            break
+        fi
+    done
+    if [ "$ok" -eq 0 ]; then
+        echo "missing package comment: $dir" >&2
+        fail=1
+    fi
+done
+if [ "$fail" -ne 0 ]; then
+    echo "checkdocs: add a package comment (ideally a doc.go) to the packages above" >&2
+    exit 1
+fi
+echo "checkdocs: every internal package has a package comment"
