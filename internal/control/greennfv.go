@@ -31,6 +31,10 @@ type GreenNFV struct {
 	// ReplayShards overrides the parallel mode's replay lock-stripe
 	// count (0 = auto).
 	ReplayShards int
+	// Float32 runs learner updates through the single-precision NN
+	// fast path in the Parallel/RemoteActors modes (ignored by the
+	// deterministic round-robin mode). See apex.TrainerConfig.Float32.
+	Float32 bool
 	// RemoteActors > 0 trains with actor processes over net/rpc (the
 	// paper's six-node topology) instead of in-process actors;
 	// RemoteSpec must describe the actors' environment. See
@@ -83,6 +87,7 @@ func (g *GreenNFV) Prepare(factory EnvFactory) error {
 	}
 	cfg.Parallel = g.Parallel
 	cfg.ReplayShards = g.ReplayShards
+	cfg.Float32 = g.Float32
 	cfg.RemoteActors = g.RemoteActors
 	cfg.SpawnRemote = g.SpawnRemote
 	cfg.ListenAddr = g.ListenAddr

@@ -97,16 +97,12 @@ func (v *VecEnv) Step(actions []float64) (obs []float64, rewards []float64, info
 	n := len(v.envs)
 	if v.workers <= 1 || n == 1 {
 		// Inline loop rather than Do: no closure capture, so the
-		// single-worker batch step allocates nothing. Every index
-		// runs even on failure, as with Do.
-		firstIdx, firstErr := -1, error(nil)
+		// single-worker batch step allocates nothing. Stops at the
+		// first failure, as with Do.
 		for i, e := range v.envs {
-			if err := v.stepOne(i, e, actions, sd, ad); err != nil && firstErr == nil {
-				firstIdx, firstErr = i, err
+			if err := v.stepOne(i, e, actions, sd, ad); err != nil {
+				return nil, nil, nil, fmt.Errorf("env: VecEnv environment %d: %w", i, err)
 			}
-		}
-		if firstErr != nil {
-			return nil, nil, nil, fmt.Errorf("env: VecEnv environment %d: %w", firstIdx, firstErr)
 		}
 		return v.obs, v.rewards, v.infos, nil
 	}
@@ -134,8 +130,9 @@ func (v *VecEnv) stepOne(i int, e *Env, actions []float64, sd, ad int) error {
 // worker pool; f(i, ·) may touch only index-i state, which makes the
 // batch race-free and its outcome identical to a serial loop. Drivers
 // use this to run heterogeneous controllers — each bound to its own
-// environment — through one bounded-parallel call. Every index runs
-// even if another fails; the lowest-indexed error is returned.
+// environment — through one bounded-parallel call. A failure stops
+// the batch (no new indices start once one has failed) and the
+// lowest-indexed error is returned deterministically.
 func (v *VecEnv) Do(f func(i int, e *Env) error) error {
 	i, err := pool.ForEach(len(v.envs), v.workers, func(i int) error {
 		return f(i, v.envs[i])

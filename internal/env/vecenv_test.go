@@ -2,6 +2,7 @@ package env
 
 import (
 	"math"
+	"sync/atomic"
 	"testing"
 
 	"greennfv/internal/perfmodel"
@@ -131,13 +132,14 @@ func TestVecEnvValidation(t *testing.T) {
 	}
 }
 
-// A Do failure must report the lowest failing index and still run the
-// other closures.
+// A Do failure must report the lowest failing index regardless of
+// scheduling. Indices below it always run (they are claimed first);
+// indices above it may be skipped once the failure stops the batch.
 func TestVecEnvDoDeterministicError(t *testing.T) {
 	vec, _ := vecOf(t, 4, 4)
-	ran := make([]bool, 4)
+	var ran [4]atomic.Bool
 	err := vec.Do(func(i int, e *Env) error {
-		ran[i] = true
+		ran[i].Store(true)
 		if i == 1 || i == 3 {
 			return errTest
 		}
@@ -150,9 +152,9 @@ func TestVecEnvDoDeterministicError(t *testing.T) {
 	if got := err.Error(); len(got) < len(want) || got[:len(want)] != want {
 		t.Errorf("error %q does not report lowest failing index", got)
 	}
-	for i, r := range ran {
-		if !r {
-			t.Errorf("closure %d skipped after failure", i)
+	for i := 0; i <= 1; i++ {
+		if !ran[i].Load() {
+			t.Errorf("closure %d (at or below the failing index) skipped", i)
 		}
 	}
 }

@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"fmt"
-	"runtime"
 
 	"greennfv/internal/pool"
 )
@@ -14,12 +13,10 @@ import (
 // nothing mutable, the produced rows are identical to the serial loop
 // and only wall-clock changes. Callers communicate results
 // positionally (worker i writes slot i), which preserves row order by
-// construction. Every index runs even if another fails; the error of
-// the lowest failing index is returned.
+// construction. A failure stops the batch (no new indices start once
+// one has failed); the error of the lowest failing index is returned.
 func forEach(n, workers int, f func(i int) error) error {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
+	// workers <= 0 selects GOMAXPROCS inside pool.ForEach.
 	if i, err := pool.ForEach(n, workers, f); err != nil {
 		return fmt.Errorf("task %d: %w", i, err)
 	}

@@ -19,6 +19,14 @@ type Adam struct {
 	t int
 	m [][]float64
 	v [][]float64
+
+	// float32-path state (StepF32): separate step counter and moment
+	// estimates, so one optimizer drives either the f64 or the f32
+	// parameters of a network but never mixes moments across
+	// precisions.
+	t32 int
+	m32 [][]float32
+	v32 [][]float32
 }
 
 // NewAdam builds an optimizer with standard hyperparameters.
@@ -93,8 +101,71 @@ func (a *Adam) Step(n *Network) {
 	}
 }
 
+// StepF32 applies one update to the network's float32 parameter
+// mirrors from its accumulated float32 gradients — the f32 fast
+// path's optimizer step. The network must have EnableF32 applied; the
+// caller is responsible for ZeroGradF32 afterwards. Norm and bias
+// corrections are computed in float64 (cheap, and the squared-norm
+// accumulation would otherwise lose precision over thousands of
+// gradient entries); the per-parameter update runs in float32.
+func (a *Adam) StepF32(n *Network) {
+	params := n.ParamSlicesF32()
+	grads := n.GradSlicesF32()
+	if a.m32 == nil {
+		a.m32 = make([][]float32, len(params))
+		a.v32 = make([][]float32, len(params))
+		for i := range params {
+			a.m32[i] = make([]float32, len(params[i]))
+			a.v32[i] = make([]float32, len(params[i]))
+		}
+	}
+	if a.ClipNorm > 0 {
+		var norm float64
+		for i := range grads {
+			for _, g := range grads[i] {
+				norm += float64(g) * float64(g)
+			}
+		}
+		norm = math.Sqrt(norm)
+		if norm > a.ClipNorm {
+			scale := float32(a.ClipNorm / norm)
+			for i := range grads {
+				if useSIMD && len(grads[i]) > 0 {
+					scaleasmf32(scale, &grads[i][0], len(grads[i]))
+					continue
+				}
+				for j := range grads[i] {
+					grads[i][j] *= scale
+				}
+			}
+		}
+	}
+	a.t32++
+	b1c := float32(1 - math.Pow(a.Beta1, float64(a.t32)))
+	b2c := float32(1 - math.Pow(a.Beta2, float64(a.t32)))
+	beta1, beta2 := float32(a.Beta1), float32(a.Beta2)
+	lr, eps := float32(a.LR), float32(a.Epsilon)
+	for i := range params {
+		p, g, m, v := params[i], grads[i], a.m32[i], a.v32[i]
+		if useSIMD && len(p) > 0 {
+			adamasmf32(&p[0], &g[0], &m[0], &v[0], len(p),
+				beta1, beta2, lr, eps, b1c, b2c)
+			continue
+		}
+		for j := range p {
+			m[j] = beta1*m[j] + (1-beta1)*g[j]
+			v[j] = beta2*v[j] + (1-beta2)*g[j]*g[j]
+			mHat := m[j] / b1c
+			vHat := v[j] / b2c
+			p[j] -= lr * mHat / (float32(math.Sqrt(float64(vHat))) + eps)
+		}
+	}
+}
+
 // Reset clears moment estimates (e.g. after loading a checkpoint).
 func (a *Adam) Reset() {
 	a.t = 0
 	a.m, a.v = nil, nil
+	a.t32 = 0
+	a.m32, a.v32 = nil, nil
 }

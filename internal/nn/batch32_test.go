@@ -1,0 +1,349 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// f32TestNet builds a small odd-sized MLP (tails exercised) with f32
+// mirrors enabled, plus a row-major input batch in both precisions.
+func f32TestNet(t testing.TB, rows int) (*Network, []float64, []float32) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(91))
+	net := MustMLP([]int{9, 31, 13, 5}, ReLU, Tanh, rng)
+	net.EnableF32()
+	x := make([]float64, rows*9)
+	x32 := make([]float32, rows*9)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+		x32[i] = float32(x[i])
+	}
+	return net, x, x32
+}
+
+// relClose reports |a-b| <= tol * max(1, |a|, |b|).
+func relClose(a, b, tol float64) bool {
+	scale := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return math.Abs(a-b) <= tol*scale
+}
+
+// TestForwardBatchF32MatchesF64 bounds the single-precision forward
+// pass against the f64 reference: a few-thousand-parameter MLP stays
+// within ~1e-5 relative error per output.
+func TestForwardBatchF32MatchesF64(t *testing.T) {
+	for _, rows := range []int{1, 3, 4, 7, 32} {
+		net, x, x32 := f32TestNet(t, rows)
+		want := net.ForwardBatch(x, rows)
+		got := net.ForwardBatchF32(x32, rows)
+		if len(got) != len(want) {
+			t.Fatalf("rows=%d: f32 output len %d, want %d", rows, len(got), len(want))
+		}
+		for i := range want {
+			if !relClose(float64(got[i]), want[i], 1e-5) {
+				t.Errorf("rows=%d out[%d]: f32 %v vs f64 %v", rows, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestBackwardBatchF32MatchesF64 bounds the f32 parameter and input
+// gradients against the f64 reference on the same minibatch.
+func TestBackwardBatchF32MatchesF64(t *testing.T) {
+	const rows = 6
+	net, x, x32 := f32TestNet(t, rows)
+	dOut := make([]float64, rows*5)
+	dOut32 := make([]float32, rows*5)
+	rng := rand.New(rand.NewSource(97))
+	for i := range dOut {
+		dOut[i] = rng.NormFloat64()
+		dOut32[i] = float32(dOut[i])
+	}
+
+	net.ForwardBatch(x, rows)
+	net.ZeroGrad()
+	wantDX := net.BackwardBatch(dOut, rows)
+	wantG := net.GradSlices()
+
+	net.ForwardBatchF32(x32, rows)
+	net.ZeroGradF32()
+	gotDX := net.BackwardBatchSplitF32(dOut32, rows, rows)
+	gotG := net.GradSlicesF32()
+
+	for i := range wantDX {
+		if !relClose(float64(gotDX[i]), wantDX[i], 1e-4) {
+			t.Errorf("dX[%d]: f32 %v vs f64 %v", i, gotDX[i], wantDX[i])
+		}
+	}
+	for i := range wantG {
+		for j := range wantG[i] {
+			if !relClose(float64(gotG[i][j]), wantG[i][j], 1e-4) {
+				t.Errorf("grad slice %d idx %d: f32 %v vs f64 %v", i, j, gotG[i][j], wantG[i][j])
+			}
+		}
+	}
+}
+
+// TestF32SplitMatchesSeparate pins the f32 fused-pass contract (the
+// analogue of the f64 BackwardBatchSplit parity test): parameter
+// gradients equal a params-only pass over the first gradRows rows,
+// input gradients equal an input-only pass, bit for bit. Like the f64
+// parity test, gradRows is a multiple of four so every row lands in
+// the same dot4 lane in both runs.
+func TestF32SplitMatchesSeparate(t *testing.T) {
+	const rows, gradRows = 8, 4
+	net, _, x32 := f32TestNet(t, rows)
+	dOut32 := make([]float32, rows*5)
+	rng := rand.New(rand.NewSource(101))
+	for i := range dOut32 {
+		dOut32[i] = float32(rng.NormFloat64())
+	}
+
+	// Split pass.
+	net.ForwardBatchF32(x32, rows)
+	net.ZeroGradF32()
+	dx := append([]float32(nil), net.BackwardBatchSplitF32(dOut32, rows, gradRows)...)
+	var grads [][]float32
+	for _, g := range net.GradSlicesF32() {
+		grads = append(grads, append([]float32(nil), g...))
+	}
+
+	// Separate params-only pass over the first gradRows rows.
+	net.ForwardBatchF32(x32[:gradRows*9], gradRows)
+	net.ZeroGradF32()
+	net.BackwardBatchParamsF32(dOut32[:gradRows*5], gradRows)
+	for i, g := range net.GradSlicesF32() {
+		for j := range g {
+			if g[j] != grads[i][j] {
+				t.Fatalf("grad slice %d idx %d: split %v separate %v", i, j, grads[i][j], g[j])
+			}
+		}
+	}
+
+	// Separate input-only pass over all rows.
+	net.ForwardBatchF32(x32, rows)
+	net.ZeroGradF32()
+	dx2 := net.BackwardBatchInputF32(dOut32, rows)
+	for i := range dx2 {
+		if dx[i] != dx2[i] {
+			t.Fatalf("dX[%d]: split %v separate %v", i, dx[i], dx2[i])
+		}
+	}
+	for _, g := range net.GradSlicesF32() {
+		for j := range g {
+			if g[j] != 0 {
+				t.Fatal("input-only f32 pass accumulated parameter gradients")
+			}
+		}
+	}
+}
+
+// TestF32KernelsMatchGo compares the AVX2 f32 kernels against the
+// pure-Go fallbacks over one full train step (forward, backward,
+// scale, Adam, soft-update). FMA contraction and the packed sqrt
+// round differently, so the bound is a relative tolerance rather than
+// bit equality.
+func TestF32KernelsMatchGo(t *testing.T) {
+	if !useSIMD {
+		t.Skip("SIMD kernels not selected on this CPU")
+	}
+	run := func(simd bool) ([][]float32, [][]float32) {
+		defer func(v bool) { useSIMD = v }(useSIMD)
+		useSIMD = simd
+		rng := rand.New(rand.NewSource(103))
+		net := MustMLP([]int{9, 31, 5}, ReLU, Tanh, rng) // odd sizes exercise tails
+		net.EnableF32()
+		target := net.Clone()
+		target.EnableF32()
+		opt := MustAdam(0.01)
+		opt.ClipNorm = 0.5
+		x := make([]float32, 4*9)
+		dOut := make([]float32, 4*5)
+		drv := rand.New(rand.NewSource(107))
+		for step := 0; step < 25; step++ {
+			for i := range x {
+				x[i] = float32(drv.NormFloat64())
+			}
+			for i := range dOut {
+				dOut[i] = float32(drv.NormFloat64())
+			}
+			net.ZeroGradF32()
+			net.ForwardBatchF32(x, 4)
+			net.BackwardBatchF32(dOut, 4)
+			net.ScaleGradF32(0.25)
+			opt.StepF32(net)
+			if err := target.SoftUpdateF32(net, 0.01); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return net.ParamSlicesF32(), target.ParamSlicesF32()
+	}
+	gotP, gotT := run(true)
+	wantP, wantT := run(false)
+	for i := range wantP {
+		for j := range wantP[i] {
+			if !relClose(float64(gotP[i][j]), float64(wantP[i][j]), 1e-4) {
+				t.Fatalf("param slice %d idx %d: simd %v scalar %v", i, j, gotP[i][j], wantP[i][j])
+			}
+			if !relClose(float64(gotT[i][j]), float64(wantT[i][j]), 1e-4) {
+				t.Fatalf("target slice %d idx %d: simd %v scalar %v", i, j, gotT[i][j], wantT[i][j])
+			}
+		}
+	}
+}
+
+// TestTanh32Accuracy bounds the rational float32 tanh against the
+// float64 reference: a few ulps on the active range, exact saturation
+// beyond it, odd symmetry at zero.
+func TestTanh32Accuracy(t *testing.T) {
+	var maxErr float64
+	for x := -12.0; x <= 12.0; x += 1.0 / 512 {
+		got := float64(tanh32(float32(x)))
+		want := math.Tanh(x)
+		if err := math.Abs(got - want); err > maxErr {
+			maxErr = err
+		}
+	}
+	if maxErr > 1e-6 {
+		t.Errorf("tanh32 max abs error %v, want <= 1e-6", maxErr)
+	}
+	if tanh32(40) != 1 || tanh32(-40) != -1 {
+		t.Error("tanh32 does not saturate to ±1")
+	}
+	if tanh32(0) != 0 {
+		t.Errorf("tanh32(0) = %v", tanh32(0))
+	}
+}
+
+// TestDotKernelF32 checks the pure-Go f32 dot kernels against a naive
+// accumulation, including tail lengths.
+func TestDotKernelF32(t *testing.T) {
+	rng := rand.New(rand.NewSource(109))
+	for n := 0; n <= 19; n++ {
+		a := make([]float32, n)
+		b := make([]float32, n)
+		var want float64
+		for i := range a {
+			a[i] = float32(rng.NormFloat64())
+			b[i] = float32(rng.NormFloat64())
+			want += float64(a[i]) * float64(b[i])
+		}
+		if got := dotF32(a, b); !relClose(float64(got), want, 1e-5) {
+			t.Errorf("dotF32 len %d = %v, want %v", n, got, want)
+		}
+		r0, _, _, _ := dot4F32(a, b, b, b, b)
+		if !relClose(float64(r0), want, 1e-5) {
+			t.Errorf("dot4F32 len %d = %v, want %v", n, r0, want)
+		}
+		if useSIMD && n > 0 {
+			s0, s1, _, _ := dot4asmf32(&a[0], &b[0], &b[0], &b[0], &b[0], n)
+			if !relClose(float64(s0), want, 1e-5) || s0 != s1 {
+				t.Errorf("dot4asmf32 len %d = %v/%v, want %v", n, s0, s1, want)
+			}
+		}
+	}
+}
+
+// TestEnableFlushF32RoundTrip: enabling snapshots the f64 weights,
+// flushing writes the (possibly trained) mirrors back.
+func TestEnableFlushF32RoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(113))
+	net := MustMLP([]int{4, 8, 2}, ReLU, Linear, rng)
+	if net.Float32Enabled() {
+		t.Fatal("f32 mirrors exist before EnableF32")
+	}
+	before := append([]float64(nil), net.layers[0].W...)
+	net.EnableF32()
+	if !net.Float32Enabled() {
+		t.Fatal("EnableF32 did not create mirrors")
+	}
+	net.FlushF32()
+	for i, w := range net.layers[0].W {
+		if w != float64(float32(before[i])) {
+			t.Fatalf("flush after enable: W[%d] = %v, want f32 rounding of %v", i, w, before[i])
+		}
+	}
+	// A trained mirror lands in the f64 weights on flush.
+	net.layers[0].w32[0] = 42
+	net.FlushF32()
+	if net.layers[0].W[0] != 42 {
+		t.Fatalf("flush ignored mirror update: W[0] = %v", net.layers[0].W[0])
+	}
+}
+
+// TestF32ZeroAllocSteadyState: the f32 batch passes, optimizer step
+// and soft-update must not allocate once warm.
+func TestF32ZeroAllocSteadyState(t *testing.T) {
+	rng := rand.New(rand.NewSource(127))
+	net := MustMLP([]int{27, 48, 48, 1}, ReLU, Linear, rng)
+	net.EnableF32()
+	target := net.Clone()
+	target.EnableF32()
+	opt := MustAdam(1e-3)
+	const rows = 32
+	x := make([]float32, rows*27)
+	dOut := make([]float32, rows)
+	for i := range x {
+		x[i] = float32(rng.NormFloat64())
+	}
+	for i := range dOut {
+		dOut[i] = float32(rng.NormFloat64())
+	}
+	step := func() {
+		net.ForwardBatchF32(x, rows)
+		net.ZeroGradF32()
+		net.BackwardBatchSplitF32(dOut, rows, rows/2)
+		net.ScaleGradF32(1.0 / rows)
+		opt.StepF32(net)
+		if err := target.SoftUpdateF32(net, 0.01); err != nil {
+			t.Fatal(err)
+		}
+	}
+	step() // warm scratch, moments and slice caches
+	if allocs := testing.AllocsPerRun(20, step); allocs != 0 {
+		t.Errorf("steady-state f32 train step allocates %v/op, want 0", allocs)
+	}
+}
+
+// BenchmarkDenseForwardBatchF32 is the f32 counterpart of
+// BenchmarkDenseForwardBatch (same critic shape, same rows).
+func BenchmarkDenseForwardBatchF32(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	net := MustMLP([]int{27, 48, 48, 1}, ReLU, Linear, rng)
+	net.EnableF32()
+	const rows = 32
+	x := make([]float32, rows*27)
+	for i := range x {
+		x[i] = float32(rng.NormFloat64())
+	}
+	net.ForwardBatchF32(x, rows)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.ForwardBatchF32(x, rows)
+	}
+}
+
+// BenchmarkDenseBackwardBatchF32 is the f32 counterpart of
+// BenchmarkDenseBackwardBatch.
+func BenchmarkDenseBackwardBatchF32(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	net := MustMLP([]int{27, 48, 48, 1}, ReLU, Linear, rng)
+	net.EnableF32()
+	const rows = 32
+	x := make([]float32, rows*27)
+	dOut := make([]float32, rows)
+	for i := range x {
+		x[i] = float32(rng.NormFloat64())
+	}
+	for i := range dOut {
+		dOut[i] = float32(rng.NormFloat64())
+	}
+	net.ForwardBatchF32(x, rows)
+	net.BackwardBatchF32(dOut, rows)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.BackwardBatchF32(dOut, rows)
+	}
+}

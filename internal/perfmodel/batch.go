@@ -2,7 +2,6 @@ package perfmodel
 
 import (
 	"fmt"
-	"runtime"
 
 	"greennfv/internal/pool"
 )
@@ -49,9 +48,12 @@ func PreallocResults(jobs []BatchJob) []Result {
 // identical to evaluating serially, so callers may treat the worker
 // count purely as a throughput knob.
 //
-// On failure every remaining job is still attempted and the error of
-// the lowest-indexed failing job is returned, making the error
-// deterministic under concurrency.
+// On failure the error of the lowest-indexed failing job is returned
+// (deterministic under concurrency: lower-indexed jobs are always
+// claimed first and run to completion), no new jobs are started once
+// one has failed, and results above the failing index may be left
+// untouched — on a non-nil error, treat the whole results slice as
+// invalid.
 func (c *Config) BatchEvaluate(jobs []BatchJob, results []Result, workers int) error {
 	if len(results) != len(jobs) {
 		return fmt.Errorf("perfmodel: %d results for %d jobs", len(results), len(jobs))
@@ -59,9 +61,7 @@ func (c *Config) BatchEvaluate(jobs []BatchJob, results []Result, workers int) e
 	if len(jobs) == 0 {
 		return nil
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
+	// workers <= 0 selects GOMAXPROCS inside pool.ForEach.
 	_, err := pool.ForEach(len(jobs), workers, func(i int) error {
 		j := &jobs[i]
 		if err := c.EvaluateInto(&results[i], j.Chain, j.Knobs, j.Traffic, j.Options); err != nil {

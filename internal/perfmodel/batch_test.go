@@ -108,14 +108,16 @@ func TestBatchEvaluateMatchesSerial(t *testing.T) {
 }
 
 // The reported error must be the lowest-indexed failure regardless of
-// scheduling, and healthy jobs must still evaluate.
+// scheduling. Jobs below the failing index always evaluate (they are
+// claimed first); later jobs may be skipped once the failure stops
+// the batch.
 func TestBatchEvaluateDeterministicError(t *testing.T) {
 	cfg := Default()
 	jobs := gridJobs(32)
 	jobs[7].Knobs = nil  // knob/NF mismatch
 	jobs[21].Knobs = nil // a later failure that must not win
-	results := make([]Result, len(jobs))
 	for _, workers := range []int{1, 4} {
+		results := make([]Result, len(jobs))
 		err := cfg.BatchEvaluate(jobs, results, workers)
 		if err == nil {
 			t.Fatalf("workers=%d: bad jobs accepted", workers)
@@ -124,10 +126,11 @@ func TestBatchEvaluateDeterministicError(t *testing.T) {
 		if got := err.Error(); len(got) < len(want) || got[:len(want)] != want {
 			t.Errorf("workers=%d: error %q does not report lowest failing job", workers, got)
 		}
-		if results[8].ThroughputPPS <= 0 {
-			t.Errorf("workers=%d: healthy job skipped after failure", workers)
+		if results[6].ThroughputPPS <= 0 {
+			t.Errorf("workers=%d: job below the failing index skipped", workers)
 		}
 	}
+	results := make([]Result, len(jobs))
 	if err := cfg.BatchEvaluate(jobs, results[:3], 2); err == nil {
 		t.Error("results length mismatch accepted")
 	}

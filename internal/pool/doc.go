@@ -7,11 +7,15 @@
 // # Concurrency and determinism
 //
 // ForEach runs fn(i) for every index across at most `workers`
-// goroutines and returns the lowest failing index's error — a
-// deterministic selection regardless of scheduling, so error
-// reporting does not flap between runs. Index-slot output (callers
-// write results[i]) keeps result order independent of worker count;
-// that is the property the bit-identical batch guarantees upstream
-// are built on. fn must be safe to call concurrently for distinct
-// indices.
+// goroutines (workers <= 0 selects GOMAXPROCS, workers > n clamps to
+// n) and returns the lowest failing index's error. Once a failure is
+// observed no new indices are claimed — every caller treats any
+// error as fatal for the whole batch, so finishing the remainder
+// would be wasted work — but the selection stays deterministic:
+// indices are claimed in order, so the lowest failing index is always
+// claimed (and its in-flight call completed) before any failure can
+// stop the pool. Index-slot output (callers write results[i]) keeps
+// result order independent of worker count; that is the property the
+// bit-identical batch guarantees upstream are built on. fn must be
+// safe to call concurrently for distinct indices.
 package pool

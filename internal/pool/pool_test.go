@@ -1,0 +1,125 @@
+package pool
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+// TestForEachCoversAllIndices: every index runs exactly once, at any
+// worker count including the GOMAXPROCS default and workers > n
+// (meaningful under -race: the hit counters are the shared state).
+func TestForEachCoversAllIndices(t *testing.T) {
+	const n = 1000
+	for _, workers := range []int{0, 1, 2, 8, n + 50} {
+		hits := make([]atomic.Int32, n)
+		idx, err := ForEach(n, workers, func(i int) error {
+			hits[i].Add(1)
+			return nil
+		})
+		if idx != -1 || err != nil {
+			t.Fatalf("workers=%d: ForEach = (%d, %v), want (-1, nil)", workers, idx, err)
+		}
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times, want 1", workers, i, got)
+			}
+		}
+	}
+}
+
+// TestForEachFirstErrorWins: with failures at several indices, the
+// lowest failing index and its error are reported regardless of the
+// worker count or scheduling.
+func TestForEachFirstErrorWins(t *testing.T) {
+	const n = 200
+	fail := map[int]bool{37: true, 73: true, 150: true}
+	for _, workers := range []int{0, 1, 4, 16} {
+		idx, err := ForEach(n, workers, func(i int) error {
+			if fail[i] {
+				return fmt.Errorf("boom at %d", i)
+			}
+			return nil
+		})
+		if idx != 37 {
+			t.Errorf("workers=%d: failing index %d, want 37", workers, idx)
+		}
+		if err == nil || err.Error() != "boom at 37" {
+			t.Errorf("workers=%d: err %v, want boom at 37", workers, err)
+		}
+	}
+}
+
+// TestForEachStopsAfterError: once an index fails, no new indices are
+// claimed. Serial mode stops immediately after the failure; the
+// concurrent pool can overrun only by work already in flight
+// (bounded by the worker count).
+func TestForEachStopsAfterError(t *testing.T) {
+	const n = 10000
+	var calls atomic.Int32
+	idx, err := ForEach(n, 1, func(i int) error {
+		calls.Add(1)
+		if i == 5 {
+			return errors.New("stop")
+		}
+		return nil
+	})
+	if idx != 5 || err == nil {
+		t.Fatalf("serial: ForEach = (%d, %v)", idx, err)
+	}
+	if got := calls.Load(); got != 6 {
+		t.Errorf("serial: %d calls after failure at index 5, want 6", got)
+	}
+
+	const workers = 4
+	calls.Store(0)
+	if idx, err = ForEach(n, workers, func(i int) error {
+		calls.Add(1)
+		if i == 5 {
+			return errors.New("stop")
+		}
+		return nil
+	}); idx != 5 || err == nil {
+		t.Fatalf("concurrent: ForEach = (%d, %v)", idx, err)
+	}
+	// The claim counter can run ahead of the failure by the in-flight
+	// work of the other workers, but nowhere near the full range.
+	if got := calls.Load(); got == int32(n) {
+		t.Errorf("concurrent: all %d indices ran despite an early failure", n)
+	}
+}
+
+// TestForEachClamps pins the worker normalization: zero and negative
+// counts mean GOMAXPROCS, n == 0 is a successful no-op, and a single
+// index runs inline.
+func TestForEachClamps(t *testing.T) {
+	if idx, err := ForEach(0, 8, func(int) error { return errors.New("never") }); idx != -1 || err != nil {
+		t.Errorf("n=0: (%d, %v), want (-1, nil)", idx, err)
+	}
+	for _, workers := range []int{0, -3} {
+		var ran atomic.Int32
+		if _, err := ForEach(2*runtime.GOMAXPROCS(0)+4, workers, func(int) error {
+			ran.Add(1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if got, want := ran.Load(), int32(2*runtime.GOMAXPROCS(0)+4); got != want {
+			t.Errorf("workers=%d: ran %d, want %d", workers, got, want)
+		}
+	}
+}
+
+// TestForEachSerialNoAlloc: the degenerate single-worker path must
+// not allocate (it sits under zero-alloc batch surfaces).
+func TestForEachSerialNoAlloc(t *testing.T) {
+	f := func(int) error { return nil }
+	allocs := testing.AllocsPerRun(20, func() {
+		ForEach(64, 1, f)
+	})
+	if allocs != 0 {
+		t.Errorf("serial ForEach allocates %v/op, want 0", allocs)
+	}
+}

@@ -74,6 +74,14 @@ func (t *Trainer) runParallel() error {
 	if err := t.installShardedReplay(agent); err != nil {
 		return err
 	}
+	if t.cfg.Float32 {
+		// Learner updates run in single precision; the flush makes the
+		// trained policy visible to the f64 side (GreedyEval,
+		// SaveActor) once the run ends. Actors are untouched — they
+		// act through their own f64 copies either way.
+		agent.SetFloat32(true)
+		defer agent.SetFloat32(false)
+	}
 
 	var (
 		steps    atomic.Int64 // environment-step tickets issued

@@ -82,6 +82,13 @@ func (t *Trainer) runRemote() error {
 	if err := t.installShardedReplay(t.learner.Agent()); err != nil {
 		return err
 	}
+	if t.cfg.Float32 {
+		// Same single-precision learner as the parallel mode; actor
+		// processes always pull f64 broadcasts (ActorBytes flushes the
+		// mirrors), so the wire format is unchanged.
+		t.learner.Agent().SetFloat32(true)
+		defer t.learner.Agent().SetFloat32(false)
+	}
 	spec := t.cfg.RemoteSpec
 	addr := t.cfg.ListenAddr
 	if addr == "" {

@@ -51,6 +51,12 @@ func TestRemoteTrainingRound(t *testing.T) {
 	cfg.RemoteActors = 2
 	cfg.SpawnRemote = []string{bin, "-q"}
 	cfg.RemoteSpec = testSpec()
+	// The learner runs single-precision: every invariant below
+	// (transition counts, update budget, version propagation) is
+	// precision-independent, so this doubles as the end-to-end test of
+	// the f32 path over RPC — actors must receive usable f64
+	// broadcasts flushed from the f32 mirrors.
+	cfg.Float32 = true
 	cfg.WarmupSteps = 32
 	cfg.VersionEvery = 4
 	cfg.AgentConfig = ddpg.DefaultConfig(0, 0)
@@ -151,6 +157,83 @@ func TestRemoteTrainerValidation(t *testing.T) {
 	// The caller's spec must not be mutated.
 	if cfg.RemoteSpec.PushEvery != 0 {
 		t.Error("normalization mutated the caller's spec")
+	}
+}
+
+// TestRetryBackoffCap pins the fix for the uncapped redial backoff:
+// the per-attempt sleep doubles from Backoff but never exceeds
+// MaxBackoff (2s default), so a user-raised MaxRetries against a
+// flapping learner cannot stall an actor for minutes, and the
+// doubling cannot overflow for any attempt count.
+func TestRetryBackoffCap(t *testing.T) {
+	r := NewRemoteLearner("127.0.0.1:1", 0)
+	if r.MaxBackoff != 2*time.Second {
+		t.Errorf("default MaxBackoff = %v, want 2s", r.MaxBackoff)
+	}
+	r.Backoff = 50 * time.Millisecond
+	r.MaxBackoff = 400 * time.Millisecond
+	want := []time.Duration{
+		50 * time.Millisecond, 100 * time.Millisecond, 200 * time.Millisecond,
+		400 * time.Millisecond, 400 * time.Millisecond, 400 * time.Millisecond,
+	}
+	for attempt, w := range want {
+		if got := r.backoffFor(attempt); got != w {
+			t.Errorf("backoffFor(%d) = %v, want %v", attempt, got, w)
+		}
+	}
+	// A huge attempt count must neither overflow nor exceed the cap
+	// (the old doubling would have overflowed past attempt 62).
+	if got := r.backoffFor(100); got != r.MaxBackoff {
+		t.Errorf("backoffFor(100) = %v, want %v", got, r.MaxBackoff)
+	}
+	// An unset cap falls back to the 2s default rather than uncapped.
+	r.MaxBackoff = 0
+	if got := r.backoffFor(100); got != 2*time.Second {
+		t.Errorf("backoffFor with zero MaxBackoff = %v, want 2s", got)
+	}
+}
+
+// TestNoRetryAfterDrain: once the learner has signalled drain, a
+// transport failure is final — the actor must not burn its full
+// backoff schedule against a learner that has already ended the
+// round. Regression test for the drain-then-stall case: the old code
+// retried MaxRetries times (seconds of sleep) before letting the
+// actor exit.
+func TestNoRetryAfterDrain(t *testing.T) {
+	srv, err := Serve(rpcLearner(t), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Service().BeginDrain()
+
+	r := NewRemoteLearner(srv.Addr(), 3)
+	defer r.Close()
+	r.MaxRetries = 10
+	r.Backoff = 200 * time.Millisecond
+	// The drain reply is still delivered with the accepted batch.
+	if err := r.PushExperience([]Experience{{Priority: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if !r.Draining() {
+		t.Fatal("drain signal not latched from push reply")
+	}
+
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	err = r.PushExperience([]Experience{{Priority: 1}})
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("push to a closed learner succeeded")
+	}
+	if !strings.Contains(err.Error(), "draining") {
+		t.Errorf("error does not mention the drain short-circuit: %v", err)
+	}
+	// One attempt, no backoff sleeps: far under even a single 200ms
+	// retry delay.
+	if elapsed >= 150*time.Millisecond {
+		t.Errorf("drained call took %v, want an immediate failure (retries not skipped?)", elapsed)
 	}
 }
 

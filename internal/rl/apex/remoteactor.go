@@ -26,9 +26,13 @@ type RemoteLearner struct {
 
 	// MaxRetries bounds redial attempts per call (total tries =
 	// MaxRetries+1); Backoff is the initial retry delay, doubling per
-	// attempt.
+	// attempt up to MaxBackoff. Without the cap, a user-raised
+	// MaxRetries against a flapping learner turns the doubling into
+	// multi-minute sleeps that stall the actor long after the learner
+	// is back.
 	MaxRetries int
 	Backoff    time.Duration
+	MaxBackoff time.Duration
 
 	mu      sync.Mutex
 	client  *Client
@@ -45,7 +49,26 @@ func NewRemoteLearner(addr string, actorID int) *RemoteLearner {
 		actorID:    actorID,
 		MaxRetries: 5,
 		Backoff:    50 * time.Millisecond,
+		MaxBackoff: 2 * time.Second,
 	}
+}
+
+// backoffFor returns the capped sleep before retry attempt+1: the
+// initial Backoff doubled attempt times, clamped to MaxBackoff (the
+// doubling is overflow-safe for any attempt count).
+func (r *RemoteLearner) backoffFor(attempt int) time.Duration {
+	limit := r.MaxBackoff
+	if limit <= 0 {
+		limit = 2 * time.Second
+	}
+	d := r.Backoff
+	for ; attempt > 0 && d < limit; attempt-- {
+		d *= 2
+	}
+	if d > limit {
+		d = limit
+	}
+	return d
 }
 
 // conn returns the live connection, dialing if needed.
@@ -82,10 +105,12 @@ func retriable(err error) bool {
 	return !isApp
 }
 
-// call invokes one RPC method, redialing with exponential backoff on
-// transport failures.
+// call invokes one RPC method, redialing with capped exponential
+// backoff on transport failures. Once the learner has signalled drain
+// the first transport failure is final: the round is over, so a
+// vanished learner means there is nothing left to deliver and
+// retrying would only delay the actor's exit.
 func (r *RemoteLearner) call(method string, args, reply any) error {
-	backoff := r.Backoff
 	var lastErr error
 	for attempt := 0; attempt <= r.MaxRetries; attempt++ {
 		c, err := r.conn()
@@ -99,9 +124,12 @@ func (r *RemoteLearner) call(method string, args, reply any) error {
 			r.dropConn(c)
 		}
 		lastErr = err
+		if r.Draining() {
+			return fmt.Errorf("apex: %s to %s failed while draining (not retried): %w",
+				method, r.addr, lastErr)
+		}
 		if attempt < r.MaxRetries {
-			time.Sleep(backoff)
-			backoff *= 2
+			time.Sleep(r.backoffFor(attempt))
 		}
 	}
 	return fmt.Errorf("apex: %s to %s failed after %d attempts: %w",

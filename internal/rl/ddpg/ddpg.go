@@ -172,6 +172,19 @@ type Agent struct {
 	// action-gradient half of the critic pass stacked in one matrix.
 	bSA2 []float64 // 2·BatchSize × (StateDim+ActionDim)
 	bDQ2 []float64 // 2·BatchSize dL/dQ
+
+	// float32 fast path (learn32.go): enabled by SetFloat32, used by
+	// the non-deterministic Parallel/RemoteActors trainer modes.
+	f32 bool
+	// f32 minibatch scratch, the single-precision mirror of the fused
+	// buffers above.
+	bStates32     []float32 // BatchSize × StateDim
+	bNextStates32 []float32 // BatchSize × StateDim
+	bNextSA32     []float32 // BatchSize × (StateDim+ActionDim)
+	bY32          []float32 // BatchSize targets
+	bDAct32       []float32 // BatchSize × ActionDim
+	bSA232        []float32 // 2·BatchSize × (StateDim+ActionDim)
+	bDQ232        []float32 // 2·BatchSize dL/dQ
 }
 
 // growScratch sizes the minibatch scratch buffers once.
@@ -417,6 +430,12 @@ func (a *Agent) learnMinibatch(batch []replay.Transition, indices []int, weights
 	if len(batch) == 0 {
 		return 0
 	}
+	if a.f32 {
+		// Float32 fast path (learn32.go): both Learn and LearnBatch
+		// route here while SetFloat32 is active — the fused structure
+		// in single precision.
+		return a.learnMinibatchF32(batch, indices, weights)
+	}
 
 	n := len(batch)
 	S, A := a.cfg.StateDim, a.cfg.ActionDim
@@ -591,7 +610,14 @@ func (a *Agent) SyncFrom(src *Agent) error {
 }
 
 // ActorBytes serializes the actor network for parameter broadcast.
-func (a *Agent) ActorBytes() ([]byte, error) { return a.Actor.MarshalBinary() }
+// On the float32 path the trained mirrors are flushed to the f64
+// weights first, so broadcasts always carry the current policy.
+func (a *Agent) ActorBytes() ([]byte, error) {
+	if a.f32 {
+		a.Actor.FlushF32()
+	}
+	return a.Actor.MarshalBinary()
+}
 
 // LoadActorBytes replaces the actor network from a broadcast.
 func (a *Agent) LoadActorBytes(data []byte) error {

@@ -33,4 +33,23 @@
 // on the figure path. The replay behind Observe/ObserveBatch is
 // goroutine-safe (see internal/replay), so experience ingest may run
 // concurrently with action selection but not with updates.
+//
+// # Float32 fast path
+//
+// SetFloat32(true) routes both Learn and LearnBatch through a
+// single-precision mirror of the fused update (learn32.go) built on
+// internal/nn's f32 batch engine — roughly 1.3x the f64 update rate
+// on AVX2. Precision contract: while enabled, the f32 parameter
+// mirrors of all four networks are authoritative and the f64 weights
+// go stale; ActorBytes flushes the actor mirror before serializing
+// (broadcasts always carry the current policy) and SetFloat32(false)
+// flushes everything back, after which Act/Greedy/TDError see the
+// trained policy. The path is deterministic given the seed on a fixed
+// CPU feature set but NOT bit-comparable to the f64 update; its drift
+// is quantified by TestLearnF32ParityWithF64 (max |ΔQ| and |Δaction|
+// well under 1e-3 after a fixed 40-update schedule). Only the
+// non-deterministic Ape-X Parallel/RemoteActors modes enable it — the
+// round-robin figure path never does, keeping recorded figures
+// byte-identical. Zero allocations per update once warm, pinned by
+// TestLearnBatchF32ZeroAlloc.
 package ddpg

@@ -5,7 +5,6 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"runtime"
 	"time"
 
 	"greennfv/internal/control"
@@ -243,22 +242,26 @@ func Run(cfg Config) ([]Result, error) {
 			}
 		}
 	}
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
 	results := make([]Result, len(cells))
-	idx, err := pool.ForEach(len(cells), workers, func(i int) error {
+	// A failing cell must not stop the rest of the grid — every row
+	// carries its own Error field and the JSONL writer emits all of
+	// them — so cell errors are recorded in the rows rather than
+	// returned to the pool (pool.ForEach stops claiming new work once
+	// a closure errors). workers <= 0 selects GOMAXPROCS inside
+	// ForEach.
+	pool.ForEach(len(cells), cfg.Workers, func(i int) error {
 		r, err := runCell(cfg, cells[i].seed, cells[i].tier, cells[i].mix)
 		if err != nil {
 			r.Error = err.Error()
 		}
 		results[i] = r
-		return err
+		return nil
 	})
-	if err != nil {
-		return results, fmt.Errorf("sweep: cell %d (%s/%s/seed %d): %w",
-			idx, cells[idx].tier.Name, cells[idx].mix.Name, cells[idx].seed, err)
+	for i := range results {
+		if results[i].Error != "" {
+			return results, fmt.Errorf("sweep: cell %d (%s/%s/seed %d): %s",
+				i, cells[i].tier.Name, cells[i].mix.Name, cells[i].seed, results[i].Error)
+		}
 	}
 	return results, nil
 }

@@ -30,6 +30,48 @@ func TestConfigValidate(t *testing.T) {
 	}
 }
 
+// TestSweepFailingCellDoesNotStopGrid pins Run's contract under the
+// stop-on-error worker pool: a failing cell records its error in its
+// own row, every other cell still trains and produces a real row,
+// and the lowest failing cell's error is returned after the grid
+// completes. (Regression test: returning cell errors to pool.ForEach
+// would halt the grid and emit zero-valued rows.)
+func TestSweepFailingCellDoesNotStopGrid(t *testing.T) {
+	tiers, err := DefaultTiers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Seeds: []int64{17},
+		Tiers: tiers[:1],
+		// The first mix has no flows, so its cell fails environment
+		// construction; the second is healthy and must still run.
+		Mixes:        []Mix{{Name: "broken"}, DefaultMixes()[0]},
+		TrainSteps:   60,
+		Actors:       1,
+		ControlSteps: 4,
+	}
+	results, err := Run(cfg)
+	if err == nil {
+		t.Fatal("failing cell's error not returned")
+	}
+	if !strings.Contains(err.Error(), "cell 0") || !strings.Contains(err.Error(), "broken") {
+		t.Errorf("error %q does not identify the failing cell", err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d results, want 2", len(results))
+	}
+	if results[0].Error == "" {
+		t.Error("failing cell's row carries no error")
+	}
+	if results[1].Error != "" {
+		t.Errorf("healthy cell's row has error %q", results[1].Error)
+	}
+	if results[1].Traffic != "standard" || results[1].ThroughputGbps <= 0 {
+		t.Errorf("healthy cell did not run after the failure: %+v", results[1])
+	}
+}
+
 // TestSweepSmallGrid trains a tiny grid end to end and checks one
 // well-formed JSON row lands per cell, in deterministic seed-major
 // order.
