@@ -31,6 +31,8 @@ func main() {
 	rank := flag.Int("rank", 0, "actor rank: exploration-ladder position and learner-side ID")
 	steps := flag.Int("steps", 0, "environment-step budget (0 = spec's, or run until drained)")
 	quiet := flag.Bool("q", false, "suppress progress logging")
+	verifyPrio := flag.Bool("verifyprio", false,
+		"cross-check batched TD-error priorities against the scalar path (bit-for-bit); fail on any difference")
 	flag.Parse()
 
 	log.SetFlags(0)
@@ -59,6 +61,7 @@ func main() {
 	}
 	if err := apex.RunRemoteActor(spec, apex.RemoteActorOptions{
 		Addr: *learnerAddr, Rank: *rank, Steps: *steps, Logf: logf,
+		VerifyPriorities: *verifyPrio,
 	}); err != nil {
 		log.Fatal(err)
 	}

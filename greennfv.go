@@ -165,10 +165,10 @@ type TrainOptions struct {
 	Steps int
 	// Actors is the Ape-X worker count (default 4).
 	Actors int
-	// Parallel trains with the concurrent Ape-X pipeline — actor
-	// goroutines, sharded replay, prefetched minibatches — (fast,
-	// non-deterministic) instead of the reproducible round-robin
-	// interleaving.
+	// Parallel trains with the concurrent Ape-X pipeline — one
+	// batched-acting driver over all actor environments, sharded
+	// replay, prefetched minibatches — (fast, non-deterministic)
+	// instead of the reproducible round-robin interleaving.
 	Parallel bool
 	// ReplayShards overrides the parallel replay's lock-stripe count
 	// (0 = auto).
@@ -181,6 +181,13 @@ type TrainOptions struct {
 	// under 1e-3). Ignored by the default deterministic mode, which
 	// stays byte-reproducible.
 	Float32 bool
+	// SamplesPerInsert, when positive, paces the learner against the
+	// actors in the asynchronous modes (Parallel, RemoteActors): at
+	// most SamplesPerInsert replay samples are consumed per inserted
+	// transition, so a learner that outruns experience generation
+	// blocks for fresh data instead of replaying a stale buffer. Zero
+	// disables pacing; the deterministic mode ignores it.
+	SamplesPerInsert float64
 	// RemoteActors > 0 trains with actor OS processes connected to
 	// the learner over net/rpc — the paper's six-node topology. The
 	// processes run ActorCommand (default: an "apexactor" binary
@@ -211,6 +218,7 @@ func (s *System) Train(agreement SLA, opts TrainOptions) (*Policy, error) {
 	g.Parallel = opts.Parallel
 	g.ReplayShards = opts.ReplayShards
 	g.Float32 = opts.Float32
+	g.SamplesPerInsert = opts.SamplesPerInsert
 	if opts.RemoteActors > 0 {
 		g.RemoteActors = opts.RemoteActors
 		g.SpawnRemote = opts.ActorCommand

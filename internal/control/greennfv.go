@@ -35,6 +35,10 @@ type GreenNFV struct {
 	// fast path in the Parallel/RemoteActors modes (ignored by the
 	// deterministic round-robin mode). See apex.TrainerConfig.Float32.
 	Float32 bool
+	// SamplesPerInsert caps replay samples consumed per transition
+	// inserted in the asynchronous modes (0 = unpaced). See
+	// apex.TrainerConfig.SamplesPerInsert.
+	SamplesPerInsert float64
 	// RemoteActors > 0 trains with actor processes over net/rpc (the
 	// paper's six-node topology) instead of in-process actors;
 	// RemoteSpec must describe the actors' environment. See
@@ -88,6 +92,7 @@ func (g *GreenNFV) Prepare(factory EnvFactory) error {
 	cfg.Parallel = g.Parallel
 	cfg.ReplayShards = g.ReplayShards
 	cfg.Float32 = g.Float32
+	cfg.SamplesPerInsert = g.SamplesPerInsert
 	cfg.RemoteActors = g.RemoteActors
 	cfg.SpawnRemote = g.SpawnRemote
 	cfg.ListenAddr = g.ListenAddr

@@ -30,6 +30,13 @@ type VecEnv struct {
 	obs     []float64 // N × StateDim, row-major
 	rewards []float64
 	infos   []perfmodel.Result
+
+	// StepBatch double-buffers observations (prev holds the states the
+	// actions were computed from) and owns the action matrix it hands
+	// the policy, so a fused act→step cycle allocates nothing after the
+	// first call.
+	prev    []float64
+	actions []float64
 }
 
 // NewVecEnv wraps the given environments, which must share state and
@@ -113,6 +120,40 @@ func (v *VecEnv) Step(actions []float64) (obs []float64, rewards []float64, info
 		return nil, nil, nil, err
 	}
 	return v.obs, v.rewards, v.infos, nil
+}
+
+// Obs returns the current observation matrix ([N × StateDim], owned
+// by the VecEnv): the rows written by the last Reset/Step/StepBatch.
+func (v *VecEnv) Obs() []float64 { return v.obs }
+
+// StepBatch runs one fused act→step cycle: act is called with the
+// current observation matrix ([n × StateDim]) and must fill the
+// VecEnv-owned action matrix ([n × ActionDim]); every environment is
+// then stepped. It returns the states the actions were computed from
+// (prev), the actions, and the usual Step outputs. All returned
+// slices are owned by the VecEnv: prev and actions stay valid until
+// the next StepBatch, obs/rewards/infos until the next Step or
+// StepBatch. No allocations after the first call.
+func (v *VecEnv) StepBatch(act func(states []float64, n int, actions []float64) error) (prev, actions, obs, rewards []float64, infos []perfmodel.Result, err error) {
+	n := len(v.envs)
+	if v.prev == nil {
+		v.prev = make([]float64, len(v.obs))
+	}
+	if v.actions == nil {
+		v.actions = make([]float64, n*v.ActionDim())
+	}
+	// The current observations become the acting states; Step then
+	// writes the successor observations into the other buffer.
+	v.obs, v.prev = v.prev, v.obs
+	if err := act(v.prev, n, v.actions); err != nil {
+		v.obs, v.prev = v.prev, v.obs // keep Obs pointing at valid rows
+		return nil, nil, nil, nil, nil, err
+	}
+	if _, _, _, err := v.Step(v.actions); err != nil {
+		v.obs, v.prev = v.prev, v.obs
+		return nil, nil, nil, nil, nil, err
+	}
+	return v.prev, v.actions, v.obs, v.rewards, v.infos, nil
 }
 
 // stepOne steps environment i into the VecEnv's row-i buffers.

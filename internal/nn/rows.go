@@ -1,0 +1,59 @@
+package nn
+
+// This file is the row-batched *bit-exact* forward: ForwardRows
+// evaluates many inputs in one call with layer-owned scratch (zero
+// allocations once warm) while keeping the scalar Forward's sequential
+// summation order per row. ForwardBatch (batch.go) is faster — its
+// dot4/dot kernels reassociate sums and its numerics depend on a row's
+// position in the batch — which is exactly what batched actors
+// computing replay priorities cannot tolerate: the deterministic
+// round-robin figures and the remote actors' bit-for-bit priority
+// verification both require that batching over rows changes nothing.
+// ForwardRows trades the ILP kernels for the weight-row cache reuse of
+// the o-outer/r-inner loop nest, which is still markedly faster than
+// calling Forward per state (one pass over W serves every row).
+
+// ForwardRows computes y_r = act(W x_r + b) for rows row-major inputs.
+// Each output row is bit-identical to Forward on that row's input: the
+// inner product runs in the scalar sequential order and the activation
+// is applied with the same elementwise functions. The returned slice
+// ([rows × Out]) shares the layer's batch scratch with ForwardBatch
+// and is valid until the next batched forward call.
+func (d *Dense) ForwardRows(x []float64, rows int) []float64 {
+	if len(x) < rows*d.In {
+		panic("nn: ForwardRows input shorter than rows*In")
+	}
+	d.bx = grow(d.bx, rows*d.In)
+	d.bz = grow(d.bz, rows*d.Out)
+	d.by = grow(d.by, rows*d.Out)
+	copy(d.bx, x[:rows*d.In])
+	for o := 0; o < d.Out; o++ {
+		row := d.W[o*d.In : (o+1)*d.In]
+		b := d.B[o]
+		for r := 0; r < rows; r++ {
+			xr := d.bx[r*d.In : (r+1)*d.In]
+			sum := b
+			for i, xi := range xr {
+				sum += row[i] * xi
+			}
+			d.bz[r*d.Out+o] = sum
+		}
+	}
+	// applyBatch's elementwise kernels are bit-equal to Act.apply:
+	// 0.5*(v+|v|) is exactly max(0, v), and Tanh/Sigmoid share the
+	// same math calls.
+	applyBatch(d.Act, d.bz, d.by)
+	return d.by
+}
+
+// ForwardRows runs the network over rows row-major inputs
+// ([rows × InputDim]), returning [rows × OutputDim] with every row
+// bit-identical to a scalar Forward of that input. The result is owned
+// by the last layer and valid until its next batched forward call.
+func (n *Network) ForwardRows(x []float64, rows int) []float64 {
+	out := x
+	for _, l := range n.layers {
+		out = l.ForwardRows(out, rows)
+	}
+	return out
+}

@@ -35,6 +35,13 @@ type LearnerAPI interface {
 	// serialized actor network when newer than haveVersion
 	// (nil bytes otherwise).
 	PullParams(haveVersion int) (version int, actorBytes []byte, err error)
+	// RetainsExperience reports whether pushed batches' float slices
+	// stay referenced after PushExperience returns. The in-process
+	// Learner aliases them into the replay buffer forever; the RPC
+	// implementations serialize them onto the wire and retain nothing.
+	// Actors use this to decide whether flushed arena chunks can be
+	// recycled (see txnArena).
+	RetainsExperience() bool
 }
 
 // Learner is the central learner process of Algorithm 3. The mutex
@@ -49,6 +56,10 @@ type Learner struct {
 	paramCache []byte
 	pushes     atomic.Int64
 	received   atomic.Int64
+	// ingestCh carries a (coalesced) wake-up per PushExperience so the
+	// SamplesPerInsert pacing gate (prefetch.go) can block on ingest
+	// instead of polling the received counter.
+	ingestCh chan struct{}
 }
 
 // NewLearner wraps a DDPG agent (which owns the central prioritized
@@ -60,7 +71,7 @@ func NewLearner(agent *ddpg.Agent) (*Learner, error) {
 	if !agent.Config().Prioritized {
 		return nil, errors.New("apex: learner requires prioritized replay")
 	}
-	l := &Learner{agent: agent, version: 1}
+	l := &Learner{agent: agent, version: 1, ingestCh: make(chan struct{}, 1)}
 	if err := l.refreshParamCache(); err != nil {
 		return nil, err
 	}
@@ -103,8 +114,21 @@ func (l *Learner) PushExperience(batch []Experience) error {
 	pushPool.Put(sc)
 	l.pushes.Add(1)
 	l.received.Add(int64(len(batch)))
+	select { // coalesced ingest wake-up for the pacing gate
+	case l.ingestCh <- struct{}{}:
+	default:
+	}
 	return nil
 }
+
+// RetainsExperience implements LearnerAPI: the replay buffer aliases
+// pushed slices (replay.Transition stores them without copying), so
+// actors must not reuse flushed chunks.
+func (l *Learner) RetainsExperience() bool { return true }
+
+// ingestNotify exposes the coalesced push wake-up channel to the
+// pacing gate.
+func (l *Learner) ingestNotify() <-chan struct{} { return l.ingestCh }
 
 // PullParams implements LearnerAPI.
 func (l *Learner) PullParams(haveVersion int) (int, []byte, error) {
@@ -190,6 +214,15 @@ func (l *Learner) Stats() (pushes, transitions int) {
 // Actor is one NF controller (Algorithm 3's NF_CONTROLLER): it acts
 // in its own environment with its own exploration intensity, buffers
 // experience locally, and exchanges data with the learner.
+//
+// The acting step is allocation-free: transitions live in a pooled
+// arena (arena.go) handed off at Flush granularity, and TD-error
+// priorities are settled lazily in one ddpg.TDErrorBatch pass per
+// flush window instead of one scalar forward chain per step. The
+// deferral is value-exact: the priority networks (target actor, target
+// critic, critic) are never touched by parameter syncs — broadcasts
+// carry only the policy network — so a TD error computed at Flush is
+// bit-identical to one computed at Step time.
 type Actor struct {
 	ID    int
 	env   *env.Env
@@ -199,6 +232,15 @@ type Actor struct {
 	obsBuf  []float64 // reused next-observation buffer for StepInto
 	local   []Experience
 	version int
+
+	// Batched-priority machinery: arena rows back local's slices,
+	// pend mirrors local as replay.Transitions for TDErrorBatch,
+	// settled is the prefix of local whose priorities are final.
+	arena   *txnArena
+	pend    []replay.Transition
+	tdBuf   []float64
+	settled int
+	verify  bool
 
 	// Steps between pushes and parameter pulls.
 	pushEvery, syncEvery int
@@ -219,6 +261,12 @@ type ActorConfig struct {
 	// SyncEvery is the parameter-pull interval in steps
 	// (Algorithm 3 lines 2 and 9).
 	SyncEvery int
+	// VerifyPriorities cross-checks every batched TD-error priority
+	// against the scalar ddpg.TDError path at settlement time and
+	// fails the actor on any bit difference — the self-check the
+	// remote e2e test switches on (cmd/apexactor -verifyprio). Only
+	// meaningful on the f64 path.
+	VerifyPriorities bool
 }
 
 // NewActor builds an actor.
@@ -237,6 +285,10 @@ func NewActor(cfg ActorConfig) (*Actor, error) {
 		ID:        cfg.ID,
 		env:       cfg.Env,
 		agent:     agent,
+		arena:     newTxnArena(cfg.Env.StateDim(), cfg.Env.ActionDim(), cfg.PushEvery),
+		local:     make([]Experience, 0, cfg.PushEvery),
+		pend:      make([]replay.Transition, 0, cfg.PushEvery),
+		verify:    cfg.VerifyPriorities,
 		pushEvery: cfg.PushEvery,
 		syncEvery: cfg.SyncEvery,
 	}
@@ -251,28 +303,29 @@ func (a *Actor) Env() *env.Env { return a.env }
 // Step runs one acting step against the learner: act, observe,
 // buffer, and periodically push/pull. It returns the step's reward
 // and measurement.
+//
+// Steady state allocates nothing: the action is computed straight into
+// its arena row (ddpg.ActInto), the state copies land in arena rows,
+// and the priority is settled in the flush-window TDErrorBatch.
 func (a *Actor) Step(learner LearnerAPI) (float64, perfmodel.Result, error) {
-	action, err := a.agent.Act(a.state, true)
+	stateRow, actionRow, nextRow := a.arena.next()
+	copy(stateRow, a.state)
+	if err := a.agent.ActInto(a.state, true, actionRow); err != nil {
+		return 0, perfmodel.Result{}, err
+	}
+	// StepInto reuses the actor's observation buffer; the transition
+	// keeps arena copies, which the buffer swap below cannot
+	// invalidate.
+	reward, info, err := a.env.StepInto(actionRow, a.obsBuf)
 	if err != nil {
 		return 0, perfmodel.Result{}, err
 	}
-	// StepInto reuses the actor's observation buffer; the replay
-	// transition still gets its own copies, which the buffer swap
-	// below cannot invalidate.
-	reward, info, err := a.env.StepInto(action, a.obsBuf)
-	if err != nil {
-		return 0, perfmodel.Result{}, err
-	}
-	tr := replay.Transition{
-		State:     append([]float64(nil), a.state...),
-		Action:    action,
-		Reward:    reward,
-		NextState: append([]float64(nil), a.obsBuf...),
-	}
-	prio := math.Abs(a.agent.TDError(tr))
+	copy(nextRow, a.obsBuf)
 	a.local = append(a.local, Experience{
-		State: tr.State, Action: tr.Action, Reward: tr.Reward,
-		NextState: tr.NextState, Priority: prio,
+		State: stateRow, Action: actionRow, Reward: reward, NextState: nextRow,
+	})
+	a.pend = append(a.pend, replay.Transition{
+		State: stateRow, Action: actionRow, Reward: reward, NextState: nextRow,
 	})
 	a.state, a.obsBuf = a.obsBuf, a.state
 	a.steps++
@@ -290,25 +343,65 @@ func (a *Actor) Step(learner LearnerAPI) (float64, perfmodel.Result, error) {
 	return reward, info, nil
 }
 
-// Flush pushes any locally buffered experience to the learner. Step
-// calls it at the PushEvery cadence; remote actors also call it when
-// a run ends between boundaries, so no transitions are lost.
+// settlePriorities computes the TD-error priorities of every
+// still-unsettled buffered transition in one batched pass. Because the
+// priority networks are frozen between parameter loads (and broadcasts
+// never carry them at all), the batched values are bit-identical to
+// the per-step scalar computation the actors used to run —
+// VerifyPriorities checks exactly that.
+func (a *Actor) settlePriorities() error {
+	if a.settled == len(a.local) {
+		return nil
+	}
+	fresh := a.pend[a.settled:]
+	a.tdBuf = a.agent.TDErrorBatch(fresh, a.tdBuf)
+	for i := range fresh {
+		prio := math.Abs(a.tdBuf[i])
+		if a.verify {
+			if want := math.Abs(a.agent.TDError(fresh[i])); prio != want {
+				return fmt.Errorf("apex: actor %d: batched priority %v != scalar %v at step %d",
+					a.ID, prio, want, a.steps-len(fresh)+i+1)
+			}
+		}
+		a.local[a.settled+i].Priority = prio
+	}
+	a.settled = len(a.local)
+	return nil
+}
+
+// Flush settles priorities and pushes any locally buffered experience
+// to the learner. Step calls it at the PushEvery cadence; remote
+// actors also call it when a run ends between boundaries, so no
+// transitions are lost. The staging buffers are reused afterwards;
+// arena chunks are recycled only when the learner does not retain
+// pushed slices.
 func (a *Actor) Flush(learner LearnerAPI) error {
 	if len(a.local) == 0 {
 		return nil
 	}
+	if err := a.settlePriorities(); err != nil {
+		return err
+	}
 	if err := learner.PushExperience(a.local); err != nil {
 		return fmt.Errorf("apex: push: %w", err)
 	}
-	a.local = nil
+	a.arena.release(learner.RetainsExperience())
+	a.local = a.local[:0]
+	a.pend = a.pend[:0]
+	a.settled = 0
 	return nil
 }
 
 // SyncParams pulls the learner's parameters when newer than the
 // actor's. Step calls it at the SyncEvery cadence; remote actors also
 // call it at startup so they act on the broadcast policy instead of
-// their own fresh random weights.
+// their own fresh random weights. Pending priorities are settled
+// first, keeping the settle-before-any-parameter-load invariant even
+// though today's broadcasts only ever replace the policy network.
 func (a *Actor) SyncParams(learner LearnerAPI) error {
+	if err := a.settlePriorities(); err != nil {
+		return err
+	}
 	v, data, err := learner.PullParams(a.version)
 	if err != nil {
 		return fmt.Errorf("apex: pull: %w", err)

@@ -1,0 +1,60 @@
+package apex
+
+import (
+	"testing"
+
+	"greennfv/internal/rl/ddpg"
+	"greennfv/internal/sla"
+)
+
+// benchActor builds one actor wired to an in-process learner, the
+// configuration BenchmarkActorStep measures: a full act → env step →
+// buffer+priority → periodic push cycle against the default cadence.
+func benchActor(b *testing.B) (*Actor, *Learner) {
+	b.Helper()
+	e, err := envFactory(sla.NewEnergyEfficiency())(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	acfg := ddpg.DefaultConfig(e.StateDim(), e.ActionDim())
+	acfg.Seed = 21
+	learnerAgent, err := ddpg.New(acfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	learner, err := NewLearner(learnerAgent)
+	if err != nil {
+		b.Fatal(err)
+	}
+	actor, err := NewActor(ActorConfig{
+		ID: 0, Env: e, AgentConfig: acfg,
+		PushEvery: 8, SyncEvery: 16,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return actor, learner
+}
+
+// BenchmarkActorStep is one acting step of the Ape-X pipeline: policy
+// forward, environment step, TD-error priority and the amortized
+// push/flush cycle. The zero-alloc contract of the arena-backed step
+// is pinned here (allocs/op must report 0; the only allocation left is
+// the one arena chunk per PushEvery window that the in-process replay
+// retains).
+func BenchmarkActorStep(b *testing.B) {
+	actor, learner := benchActor(b)
+	// Warm the arena, local buffer and TD scratch.
+	for i := 0; i < 64; i++ {
+		if _, _, err := actor.Step(learner); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := actor.Step(learner); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -21,10 +21,12 @@
 //   - Round-robin (default): actors interleave single-threaded.
 //     Deterministic given the seeds — the mode behind every recorded
 //     figure; its outputs are byte-diffed across PRs.
-//   - Parallel (TrainerConfig.Parallel): actor goroutines step
-//     private environments while a sampler/learner pipeline
-//     (prefetch.go) runs batched updates over the lock-striped
-//     replay. Fastest in-process mode; NOT deterministic.
+//   - Parallel (TrainerConfig.Parallel): ONE VecActor driver
+//     goroutine (vecactor.go) steps every actor environment through
+//     a VecEnv with a single batched policy pass per round, while a
+//     sampler/learner pipeline (prefetch.go) runs batched updates
+//     over the lock-striped replay. Fastest in-process mode; NOT
+//     deterministic.
 //   - Remote (TrainerConfig.RemoteActors): the paper's multi-node
 //     split. The trainer serves the learner over net/rpc (rpc.go)
 //     and actors run as separate OS processes (cmd/apexactor,
@@ -48,4 +50,39 @@
 // per-actor connection lifecycle (registration, push stats, drain)
 // lives in LearnerService. Only the round-robin mode is
 // deterministic; tests and figures rely on it.
+//
+// # Actor stepping: arena, batched priorities, verification
+//
+// Actor.Step and the VecActor round are zero-allocation in steady
+// state. Each PushEvery window's transitions live in one flat
+// txnArena chunk (arena.go) instead of per-step slices; priorities
+// are settled lazily at Flush/SyncParams time with one
+// ddpg.TDErrorBatch call over the window — bit-identical to eager
+// scalar TDError because the priority nets are untouched by
+// parameter broadcasts (see internal/rl/ddpg doc). What happens to
+// the chunk after PushExperience is the learner's call:
+// LearnerAPI.RetainsExperience reports whether the endpoint keeps
+// aliases of the pushed slices (the in-process Learner does; Client
+// and RemoteLearner gob-serialize inside the call and do not), and
+// the arena recycles the chunk through a free list only when it may.
+// BenchmarkActorStep and TestActorStepAllocGate pin the 0 allocs/op
+// contract.
+//
+// ActorConfig.VerifyPriorities (cmd/apexactor -verifyprio) makes an
+// actor recompute every settled window with scalar TDError and fail
+// loudly on any bit mismatch — the cross-process e2e test runs remote
+// actors under it, proving batched priorities are bit-for-bit across
+// the RPC boundary.
+//
+// # Learner pacing
+//
+// TrainerConfig.SamplesPerInsert bounds how far the learner may run
+// ahead of experience ingest in the concurrent modes (Reverb-style
+// samples-to-inserts ratio). The sampler blocks on the learner's
+// ingest signal whenever drawing the next minibatch would exceed
+// ratio × transitions received, so a starved learner waits for fresh
+// experience instead of replaying a stale buffer; the remote mode
+// applies the same cap to its update budget. Zero (the default)
+// preserves the fixed LearnPerStep budget of the comparable-runs
+// contract above.
 package apex

@@ -3,9 +3,9 @@ package apex
 import (
 	"fmt"
 	"runtime"
-	"sync"
 	"sync/atomic"
 
+	"greennfv/internal/env"
 	"greennfv/internal/rl/ddpg"
 	"greennfv/internal/rl/replay"
 )
@@ -13,12 +13,15 @@ import (
 // The concurrent training mode of Horgan et al. is a three-stage
 // pipeline over the lock-striped replay buffer:
 //
-//	actors  ── staging chunks ── AddBatch (one shard lock per chunk)
+//	driver  ── batched act/step ── staging chunks ── AddBatch
 //	sampler ── SampleInto ──▶ ready channel ──▶ learner (LearnBatch)
 //
-// Actors live here; the sampler/learner half is prefetch.go. The
-// learner never touches a replay mutex actors contend on, so the old
-// poll-and-yield handoff between them is gone.
+// The acting half lives here and in vecactor.go: ONE driver goroutine
+// steps all actors through a VecEnv with a single batched policy pass
+// per step, replacing the per-actor goroutines (and their scalar
+// forwards, atomic ticket counter and fairness yields) of the earlier
+// design. The sampler/learner half is prefetch.go. The learner never
+// touches a replay mutex actors contend on.
 
 // defaultReplayShards sizes the lock stripes to the parallelism
 // actually available, clamped to keep per-shard capacity useful.
@@ -57,15 +60,16 @@ func (t *Trainer) installShardedReplay(agent *ddpg.Agent) error {
 	return nil
 }
 
-// runParallel executes the pipeline: one goroutine per actor steps
-// its private environment and exchanges experience/parameters with
-// the learner, the sampler prefetches minibatches, and the learner
-// drains the same update budget the round-robin mode would spend.
-// Wall-clock time approaches max(actor time, learner time) instead of
-// their sum.
+// runParallel executes the pipeline: the VecActor driver steps every
+// actor environment with one batched policy pass per step and
+// exchanges experience/parameters with the learner, while the sampler
+// prefetches minibatches and the learner drains the same update budget
+// the round-robin mode would spend. Wall-clock time approaches
+// max(actor time, learner time) instead of their sum.
 //
-// The run is NOT deterministic: actor interleaving depends on the
-// scheduler. Figure-quality reproducible runs use round-robin mode.
+// The run is NOT deterministic: the learner's sampling interleaves
+// with acting on the scheduler's terms. Figure-quality reproducible
+// runs use round-robin mode.
 func (t *Trainer) runParallel() error {
 	agent := t.learner.Agent()
 	acfg := agent.Config()
@@ -77,30 +81,47 @@ func (t *Trainer) runParallel() error {
 	if t.cfg.Float32 {
 		// Learner updates run in single precision; the flush makes the
 		// trained policy visible to the f64 side (GreedyEval,
-		// SaveActor) once the run ends. Actors are untouched — they
-		// act through their own f64 copies either way.
+		// SaveActor) once the run ends. The acting agent below gets its
+		// own f32 switch (SetActFloat32) — the two paths never share a
+		// network.
 		agent.SetFloat32(true)
 		defer agent.SetFloat32(false)
 	}
 
-	var (
-		steps    atomic.Int64 // environment-step tickets issued
-		stop     atomic.Bool  // set on first error to halt all workers
-		errMu    sync.Mutex
-		firstErr error
-		snapMu   sync.Mutex
-		wg       sync.WaitGroup
-		warmed   atomic.Bool
-	)
-	total := int64(t.cfg.TotalSteps)
-	fail := func(err error) {
-		errMu.Lock()
-		if firstErr == nil {
-			firstErr = err
-		}
-		errMu.Unlock()
-		stop.Store(true)
+	// Build the batched driver over the round-robin actors' resources:
+	// their environments back the VecEnv, actor 0's agent becomes the
+	// shared policy, and each actor's config ladder (rung sigma,
+	// private seed) becomes a VecActor noise lane.
+	n := len(t.actors)
+	envs := make([]*env.Env, n)
+	ladder := make([]ddpg.Config, n)
+	for i, a := range t.actors {
+		envs[i] = a.Env()
+		ladder[i] = a.agent.Config()
 	}
+	// workers=1: per-env steps are microseconds of arithmetic, so the
+	// inline single-worker path beats paying pool dispatch per round —
+	// and the spare cores belong to the learner pipeline anyway.
+	vec, err := env.NewVecEnv(envs, 1)
+	if err != nil {
+		return err
+	}
+	vec.Reset(acfg.Seed)
+	vagent := t.actors[0].agent
+	if t.cfg.Float32 {
+		// Batched f32 actor fast path: acting and TD-error priorities
+		// run through the vectorized f32 engine. Independent of the
+		// learner's SetFloat32 above (different agent).
+		vagent.SetActFloat32(true)
+		defer vagent.SetActFloat32(false)
+	}
+	va := newVecActor(vagent, vec, noiseLadder(acfg.ActionDim, ladder),
+		t.cfg.PushEvery, t.cfg.SyncEvery)
+
+	var stop atomic.Bool
+	var firstErr error
+	total := t.cfg.TotalSteps
+	rounds, rem := total/n, total%n
 
 	// warmReady closes once warmup has passed AND the replay holds at
 	// least one batch: the gate that lets the sampler spend the update
@@ -109,61 +130,60 @@ func (t *Trainer) runParallel() error {
 	warmReady := make(chan struct{})
 	actorsDone := make(chan struct{})
 
-	// Actors: claim global step tickets until the budget is spent.
-	// Actor 0 also records training snapshots (it owns its env, so
-	// reading the knobs is race-free).
-	for _, actor := range t.actors {
-		wg.Add(1)
-		go func(a *Actor) {
-			defer wg.Done()
-			var lastSnap int64
-			for !stop.Load() {
-				n := steps.Add(1)
-				if n > total {
-					steps.Add(-1)
-					return
-				}
-				reward, info, err := a.Step(t.learner)
-				if err != nil {
-					fail(fmt.Errorf("apex: actor %d: %w", a.ID, err))
-					return
-				}
-				if !warmed.Load() && n > int64(t.cfg.WarmupSteps) &&
-					agent.BufferLen() >= batch &&
-					warmed.CompareAndSwap(false, true) {
-					close(warmReady)
-				}
-				if a.ID == 0 && t.cfg.SnapshotEvery > 0 && n >= lastSnap+int64(t.cfg.SnapshotEvery) {
-					lastSnap = n - n%int64(t.cfg.SnapshotEvery)
-					snap := SnapshotOf(int(n), a.Env(), info, reward)
-					snapMu.Lock()
-					t.Snapshots = append(t.Snapshots, snap)
-					snapMu.Unlock()
-				}
-				// Cooperative fairness yield, NOT a contention
-				// workaround: actors block on nothing, so on fewer
-				// cores than goroutines one actor would otherwise
-				// burn a whole ~10ms preemption slice claiming
-				// hundreds of tickets, collapsing the per-actor
-				// exploration ladder into single-actor bursts. The
-				// learner pipeline (prefetch.go) blocks on channels
-				// and needs no such yield.
-				runtime.Gosched()
+	driverDone := make(chan struct{})
+	go func() {
+		defer close(driverDone)
+		warmed := false
+		lastSnap := 0
+		for r := 0; r < rounds && !stop.Load(); r++ {
+			reward0, info0, err := va.StepRound(t.learner)
+			if err != nil {
+				firstErr = fmt.Errorf("apex: vec actor: %w", err)
+				stop.Store(true)
+				return
 			}
-		}(actor)
-	}
+			steps := va.Steps()
+			if !warmed && steps > t.cfg.WarmupSteps && agent.BufferLen() >= batch {
+				warmed = true
+				close(warmReady)
+			}
+			if t.cfg.SnapshotEvery > 0 && steps >= lastSnap+t.cfg.SnapshotEvery {
+				lastSnap = steps - steps%t.cfg.SnapshotEvery
+				t.Snapshots = append(t.Snapshots, SnapshotOf(steps, vec.Env(0), info0, reward0))
+			}
+		}
+		if rem > 0 && !stop.Load() {
+			if err := va.StepRemainder(t.learner, rem); err != nil {
+				firstErr = fmt.Errorf("apex: vec actor: %w", err)
+				stop.Store(true)
+				return
+			}
+		}
+		// Final flush so a tail shorter than PushEvery is not lost.
+		if err := va.Flush(t.learner); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("apex: vec actor: %w", err)
+			stop.Store(true)
+		}
+	}()
 
 	learnerDone := t.startLearnerPipeline(agent, batch,
 		t.cfg.LearnPerStep*(t.cfg.TotalSteps-t.cfg.WarmupSteps),
 		&stop, warmReady, actorsDone)
 
-	wg.Wait()
+	<-driverDone
 	close(actorsDone)
 	<-learnerDone
-	if n := steps.Load(); n > total {
-		t.steps = int(total)
-	} else {
-		t.steps = int(n)
+
+	// Attribute steps back to the per-actor records: a full round gives
+	// every lane one step; the remainder went to the lowest lanes.
+	done := va.Steps()
+	q, r := done/n, done%n
+	for i, a := range t.actors {
+		a.steps = q
+		if i < r {
+			a.steps++
+		}
 	}
+	t.steps = done
 	return firstErr
 }

@@ -30,6 +30,13 @@ type minibatch struct {
 // one batch buffered) before drawing; if the actors finish first it
 // learns only when they left enough data behind — the update budget
 // is otherwise spent exactly, matching the round-robin mode.
+//
+// With SamplesPerInsert > 0 the sampler additionally paces itself to
+// the actors: before drawing minibatch p it requires
+// (p+1)·batch ≤ SPI·inserted, blocking on the learner's coalesced
+// ingest notification (never polling) until actors catch up. Once the
+// actors are done a still-starved sampler gives up the remaining
+// budget rather than replaying a stale buffer ad infinitum.
 func (t *Trainer) startLearnerPipeline(agent *ddpg.Agent, batch, budget int, stop *atomic.Bool, warmReady, actorsDone <-chan struct{}) <-chan struct{} {
 	learnerDone := make(chan struct{})
 	if budget <= 0 {
@@ -57,7 +64,18 @@ func (t *Trainer) startLearnerPipeline(agent *ddpg.Agent, batch, budget int, sto
 				return
 			}
 		}
+		spi := t.cfg.SamplesPerInsert
 		for produced := 0; produced < budget && !stop.Load(); produced++ {
+			for spi > 0 && float64((produced+1)*batch) > spi*float64(t.learner.received.Load()) {
+				select {
+				case <-t.learner.ingestNotify():
+					// recheck the ratio with the fresh insert count
+				case <-actorsDone:
+					if float64((produced+1)*batch) > spi*float64(t.learner.received.Load()) {
+						return // actors gone, ratio unreachable
+					}
+				}
+			}
 			mb := <-free
 			s, idx, w := agent.SampleReplayInto(rng, batch, mb.samples, mb.indices, mb.weights)
 			if s == nil {

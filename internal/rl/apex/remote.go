@@ -166,6 +166,8 @@ func (t *Trainer) runRemote() error {
 	// concurrently — PushExperience takes no learner mutex, so actors
 	// never stall behind an update.
 	budget := t.cfg.LearnPerStep * (t.cfg.TotalSteps - t.cfg.WarmupSteps)
+	batchSz := t.learner.Agent().Config().BatchSize
+	spi := t.cfg.SamplesPerInsert
 	updates := 0
 	done := false
 	for updates < budget {
@@ -183,9 +185,22 @@ func (t *Trainer) runRemote() error {
 			// spend the remainder on what the actors left behind.
 			allowed = budget
 		}
+		if spi > 0 {
+			// SamplesPerInsert cap, same ratio the in-process pipeline
+			// enforces: at most spi replay samples consumed per
+			// transition received, each update consuming one batch.
+			if lim := int(spi * float64(received) / float64(batchSz)); allowed > lim {
+				allowed = lim
+			}
+		}
 		for updates < allowed {
 			t.learner.LearnStep(t.cfg.VersionEvery)
 			updates++
+		}
+		if done && updates >= allowed {
+			// The fleet is gone; a ratio-capped remainder will never be
+			// unlocked by new experience.
+			break
 		}
 		if updates < budget {
 			time.Sleep(remotePollInterval)

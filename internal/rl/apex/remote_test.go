@@ -49,7 +49,11 @@ func TestRemoteTrainingRound(t *testing.T) {
 	const total = 240
 	cfg := DefaultTrainerConfig(total)
 	cfg.RemoteActors = 2
-	cfg.SpawnRemote = []string{bin, "-q"}
+	// -verifyprio makes each actor process cross-check every batched
+	// TD-error priority against the scalar path and exit nonzero on any
+	// bit difference, so this round also proves the batched priority
+	// computation is bit-for-bit across processes.
+	cfg.SpawnRemote = []string{bin, "-q", "-verifyprio"}
 	cfg.RemoteSpec = testSpec()
 	// The learner runs single-precision: every invariant below
 	// (transition counts, update budget, version propagation) is

@@ -179,6 +179,12 @@ func (r *RemoteLearner) PullParams(haveVersion int) (int, []byte, error) {
 	return reply.Version, reply.ActorBytes, nil
 }
 
+// RetainsExperience implements LearnerAPI: pushes are gob-serialized
+// inside the synchronous call (even across redials the batch is fully
+// encoded per attempt), so the caller's slices are free for reuse when
+// PushExperience returns.
+func (r *RemoteLearner) RetainsExperience() bool { return false }
+
 // Draining reports whether the learner has asked this actor to stop.
 func (r *RemoteLearner) Draining() bool {
 	r.mu.Lock()
@@ -210,6 +216,10 @@ type RemoteActorOptions struct {
 	// Steps overrides the spec's step budget when positive; with both
 	// zero the actor runs until the learner signals drain.
 	Steps int
+	// VerifyPriorities enables the actor's batched-vs-scalar priority
+	// self-check (ActorConfig.VerifyPriorities); used by tests to prove
+	// the batched TD-error path is bit-identical across processes.
+	VerifyPriorities bool
 	// Logf, when non-nil, receives progress messages.
 	Logf func(format string, args ...any)
 }
@@ -233,6 +243,7 @@ func RunRemoteActor(spec ActorSpec, opt RemoteActorOptions) error {
 	actor, err := NewActor(ActorConfig{
 		ID: opt.Rank, Env: e, AgentConfig: acfg,
 		PushEvery: spec.PushEvery, SyncEvery: spec.SyncEvery,
+		VerifyPriorities: opt.VerifyPriorities,
 	})
 	if err != nil {
 		return fmt.Errorf("apex: actor %d: %w", opt.Rank, err)

@@ -288,6 +288,11 @@ func (c *Client) PullParams(haveVersion int) (int, []byte, error) {
 	return reply.Version, reply.ActorBytes, nil
 }
 
+// RetainsExperience implements LearnerAPI: batches are gob-serialized
+// inside the synchronous Call, so nothing references the caller's
+// slices once PushExperience returns.
+func (c *Client) RetainsExperience() bool { return false }
+
 // Close releases the connection.
 func (c *Client) Close() error { return c.rc.Close() }
 

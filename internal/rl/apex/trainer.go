@@ -75,6 +75,15 @@ type TrainerConfig struct {
 	// BaseSigma is actor 0's OU noise; each additional actor gets
 	// progressively more exploration (Ape-X's per-actor epsilon).
 	BaseSigma float64
+	// SamplesPerInsert, when positive, caps how far the learner may run
+	// ahead of the actors in the asynchronous modes (Parallel, remote):
+	// at most SamplesPerInsert replay samples are consumed per inserted
+	// transition, so a fast learner blocks for fresh experience instead
+	// of replaying a stale buffer (the ratio knob of Reverb-style
+	// samplers). Zero (the default) disables pacing and the update
+	// budget is spent exactly; the deterministic round-robin mode
+	// ignores it — its learn cadence is fixed by LearnPerStep.
+	SamplesPerInsert float64
 	// Parallel selects truly concurrent training — actor goroutines
 	// stepping their own environments while a sampler/learner pipeline
 	// runs batched updates over a lock-striped replay, the

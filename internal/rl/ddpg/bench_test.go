@@ -38,3 +38,46 @@ func BenchmarkAgentLearn(b *testing.B) {
 		a.Learn()
 	}
 }
+
+// benchActBatch measures one batched acting pass over n parallel
+// actors' states at the GreenNFV problem size — the VecActor driver's
+// per-step policy cost.
+func benchActBatch(b *testing.B, n int, f32 bool) {
+	cfg := DefaultConfig(12, 15)
+	a, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if f32 {
+		a.SetActFloat32(true)
+	}
+	noises := make([]*OUNoise, n)
+	for i := range noises {
+		noises[i] = NewOUNoise(cfg.ActionDim, cfg.OUTheta, 0.3*(1+0.5*float64(i)),
+			rand.New(rand.NewSource(int64(i)+1)))
+	}
+	rng := rand.New(rand.NewSource(3))
+	states := make([]float64, n*cfg.StateDim)
+	for i := range states {
+		states[i] = rng.NormFloat64()
+	}
+	dst := make([]float64, n*cfg.ActionDim)
+	if err := a.ActBatch(states, n, noises, dst); err != nil { // warm the scratch
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := a.ActBatch(states, n, noises, dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkActBatch: the f64 row path (bit-identical to scalar acting)
+// over the default 4-actor fleet.
+func BenchmarkActBatch(b *testing.B) { benchActBatch(b, 4, false) }
+
+// BenchmarkActBatchF32: the same pass through the vectorized f32
+// engine (the Parallel-mode acting fast path).
+func BenchmarkActBatchF32(b *testing.B) { benchActBatch(b, 4, true) }

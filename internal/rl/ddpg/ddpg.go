@@ -173,9 +173,22 @@ type Agent struct {
 	bSA2 []float64 // 2·BatchSize × (StateDim+ActionDim)
 	bDQ2 []float64 // 2·BatchSize dL/dQ
 
+	// batched acting scratch (act.go): TDErrorBatch's assembled
+	// matrices, grown to the largest flush window seen.
+	actNext   []float64 // n × StateDim next states
+	actNextSA []float64 // n × (StateDim+ActionDim) target critic input
+	actSA     []float64 // n × (StateDim+ActionDim) critic input
+
 	// float32 fast path (learn32.go): enabled by SetFloat32, used by
 	// the non-deterministic Parallel/RemoteActors trainer modes.
 	f32 bool
+	// float32 acting path (act.go): enabled by SetActFloat32 on
+	// acting-only agents; routes ActBatch/TDErrorBatch through the f32
+	// batch engine.
+	actF32      bool
+	act32States []float32
+	act32NextSA []float32
+	act32SA     []float32
 	// f32 minibatch scratch, the single-precision mirror of the fused
 	// buffers above.
 	bStates32     []float32 // BatchSize × StateDim
@@ -619,13 +632,22 @@ func (a *Agent) ActorBytes() ([]byte, error) {
 	return a.Actor.MarshalBinary()
 }
 
-// LoadActorBytes replaces the actor network from a broadcast.
+// LoadActorBytes replaces the actor network from a broadcast. While
+// the f32 acting path is active the actor's parameter mirrors are
+// refreshed from the new weights, so batched acting never runs on a
+// stale policy.
 func (a *Agent) LoadActorBytes(data []byte) error {
 	var net nn.Network
 	if err := net.UnmarshalBinary(data); err != nil {
 		return err
 	}
-	return a.Actor.CopyParamsFrom(&net)
+	if err := a.Actor.CopyParamsFrom(&net); err != nil {
+		return err
+	}
+	if a.actF32 {
+		a.Actor.EnableF32()
+	}
+	return nil
 }
 
 // concat appends a and b into dst and returns it.

@@ -52,4 +52,35 @@
 // round-robin figure path never does, keeping recorded figures
 // byte-identical. Zero allocations per update once warm, pinned by
 // TestLearnBatchF32ZeroAlloc.
+//
+// # Batched acting
+//
+// The acting side has its own batched layer, independent of the
+// learner paths above:
+//
+//   - ActInto is Act without the return-value allocation: action
+//     selection into a caller-owned slice, bit-identical to Act.
+//   - ActBatch selects actions for n actors' states in one call —
+//     one nn.ForwardRows pass over the row matrix plus the per-lane
+//     OU noise draws and clamps. ForwardRows keeps the scalar
+//     per-row summation order, so the f64 batch is BIT-IDENTICAL to
+//     n scalar Act calls (pinned by TestActBatchMatchesScalarReference
+//     and the apex VecActor parity test); it exists so batching is a
+//     pure throughput knob, never a numerics change.
+//   - TDErrorBatch computes |δ| priorities for a whole push window in
+//     two target-net row passes instead of 3·n scalar forwards, again
+//     bit-identical to scalar TDError. It reads only the target nets
+//     and the critic — parameters a learner broadcast never touches —
+//     which is why the Ape-X actor may defer priority settlement to
+//     push time without changing a single priority bit.
+//   - SetActFloat32 routes ActBatch/TDErrorBatch through the f32
+//     batch engine (~2x on AVX2) WITHOUT touching the learner state:
+//     it mirrors only the acting nets, and it is a no-op while
+//     SetFloat32 learning is enabled on the same agent — the learner
+//     owns the mirrors then, and acting precision must not fight it.
+//     Drift vs f64 is bounded by TestActBatchFloat32Parity (≤1e-3).
+//
+// All batched-acting entry points are zero-allocation in steady state
+// (TestActBatchNoAllocs); scratch grows monotonically to the largest
+// batch seen.
 package ddpg
