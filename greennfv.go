@@ -197,6 +197,22 @@ type TrainOptions struct {
 	// process; the system appends the learner address, rank, step
 	// budget and spec arguments.
 	ActorCommand []string
+	// Checkpoint, when set, makes training write its full state (the
+	// networks, optimizer moments, noise/RNG stream and progress
+	// counters) to this path atomically: on an update interval in the
+	// RemoteActors mode, and when training completes in every mode. A
+	// killed training run can then continue via Resume instead of
+	// starting over.
+	Checkpoint string
+	// CheckpointEvery is the learner-update interval between
+	// checkpoints in the RemoteActors mode (<= 0: completion only).
+	CheckpointEvery int
+	// CheckpointReplay additionally snapshots the replay buffer, making
+	// resumed updates bit-exact at the cost of much larger files.
+	CheckpointReplay bool
+	// Resume restores training state from a checkpoint file written by
+	// an identically-configured earlier run before stepping.
+	Resume string
 }
 
 // Policy is a trained GreenNFV controller bound to its SLA.
@@ -219,6 +235,10 @@ func (s *System) Train(agreement SLA, opts TrainOptions) (*Policy, error) {
 	g.ReplayShards = opts.ReplayShards
 	g.Float32 = opts.Float32
 	g.SamplesPerInsert = opts.SamplesPerInsert
+	g.CheckpointPath = opts.Checkpoint
+	g.CheckpointEvery = opts.CheckpointEvery
+	g.CheckpointReplay = opts.CheckpointReplay
+	g.ResumePath = opts.Resume
 	if opts.RemoteActors > 0 {
 		g.RemoteActors = opts.RemoteActors
 		g.SpawnRemote = opts.ActorCommand

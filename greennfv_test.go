@@ -2,6 +2,8 @@ package greennfv
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -164,5 +166,36 @@ func TestPolicySaveLoadRoundTrip(t *testing.T) {
 	var nilPolicy *Policy
 	if err := nilPolicy.Save(&buf); err == nil {
 		t.Error("nil policy save accepted")
+	}
+}
+
+func TestTrainCheckpointResume(t *testing.T) {
+	sys, err := NewSystem(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "train.ckpt")
+	opts := TrainOptions{Steps: 200, Actors: 2, Checkpoint: path, CheckpointReplay: true}
+	if _, err := sys.Train(EfficiencySLA(), opts); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("training wrote no checkpoint: %v", err)
+	}
+	// An identically configured run resumes from the completed
+	// checkpoint (and, being already at budget, finishes immediately
+	// with a usable policy).
+	opts.Resume = path
+	policy, err := sys.Train(EfficiencySLA(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Measure(policy); err != nil {
+		t.Fatal(err)
+	}
+	// A bogus resume path must fail loudly, not train from scratch.
+	opts.Resume = filepath.Join(t.TempDir(), "missing.ckpt")
+	if _, err := sys.Train(EfficiencySLA(), opts); err == nil {
+		t.Error("missing resume checkpoint accepted")
 	}
 }

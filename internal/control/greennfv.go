@@ -51,6 +51,23 @@ type GreenNFV struct {
 	ListenAddr string
 	// RemoteSpec tells remote actors how to rebuild the environment.
 	RemoteSpec *apex.ActorSpec
+	// CheckpointPath, when set, makes the trainer write its full
+	// training state there atomically — every CheckpointEvery learner
+	// updates in remote mode, and again when training completes. See
+	// apex.Trainer.Checkpoint.
+	CheckpointPath string
+	// CheckpointEvery is the update interval between checkpoints
+	// (<= 0: only the completion checkpoint is written).
+	CheckpointEvery int
+	// CheckpointReplay includes replay-buffer contents in checkpoints,
+	// making a resumed run's updates bit-exact at the cost of much
+	// larger files.
+	CheckpointReplay bool
+	// ResumePath, when set, restores training state from that
+	// checkpoint before stepping, so a killed training run continues
+	// mid-budget instead of starting over. The configuration must
+	// match the run that wrote the checkpoint.
+	ResumePath string
 
 	trainer *apex.Trainer
 	// agent is the deployed policy network: the learner's agent
@@ -97,6 +114,9 @@ func (g *GreenNFV) Prepare(factory EnvFactory) error {
 	cfg.SpawnRemote = g.SpawnRemote
 	cfg.ListenAddr = g.ListenAddr
 	cfg.RemoteSpec = g.RemoteSpec
+	cfg.CheckpointPath = g.CheckpointPath
+	cfg.CheckpointEvery = g.CheckpointEvery
+	cfg.CheckpointReplay = g.CheckpointReplay
 	cfg.EnvFactory = func(actorID int) (*env.Env, error) {
 		return factory(g.Seed+int64(actorID)*131, g.Options())
 	}
@@ -106,8 +126,20 @@ func (g *GreenNFV) Prepare(factory EnvFactory) error {
 	if err != nil {
 		return err
 	}
+	if g.ResumePath != "" {
+		if err := trainer.Resume(g.ResumePath); err != nil {
+			return err
+		}
+	}
 	if err := trainer.Run(); err != nil {
 		return fmt.Errorf("control: GreenNFV training: %w", err)
+	}
+	// The remote mode checkpoints on completion itself; the in-process
+	// modes leave it to us.
+	if g.CheckpointPath != "" && g.RemoteActors == 0 {
+		if err := trainer.Checkpoint(g.CheckpointPath); err != nil {
+			return fmt.Errorf("control: GreenNFV checkpoint: %w", err)
+		}
 	}
 	g.trainer = trainer
 	g.agent = trainer.Learner().Agent()

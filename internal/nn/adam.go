@@ -169,3 +169,64 @@ func (a *Adam) Reset() {
 	a.t32 = 0
 	a.m32, a.v32 = nil, nil
 }
+
+// AdamState is the serializable optimizer state: the step counters and
+// first/second moment estimates of both precisions. Together with the
+// network parameters it is everything a checkpoint needs to make the
+// next optimizer step bit-identical to an uninterrupted run.
+type AdamState struct {
+	T    int
+	M, V [][]float64
+	// Float32-path moments (StepF32); empty when the f32 path never
+	// ran.
+	T32      int
+	M32, V32 [][]float32
+}
+
+// State deep-copies the optimizer's moment estimates for
+// checkpointing. A fresh optimizer returns a zero state.
+func (a *Adam) State() AdamState {
+	st := AdamState{T: a.t, T32: a.t32}
+	for i := range a.m {
+		st.M = append(st.M, append([]float64(nil), a.m[i]...))
+		st.V = append(st.V, append([]float64(nil), a.v[i]...))
+	}
+	for i := range a.m32 {
+		st.M32 = append(st.M32, append([]float32(nil), a.m32[i]...))
+		st.V32 = append(st.V32, append([]float32(nil), a.v32[i]...))
+	}
+	return st
+}
+
+// SetState restores checkpointed moment estimates. n, when non-nil, is
+// the network this optimizer will step: the moment shapes must match
+// its parameter slices exactly (a zero state matches any network — it
+// restores a fresh optimizer).
+func (a *Adam) SetState(st AdamState, n *Network) error {
+	if len(st.M) != len(st.V) || len(st.M32) != len(st.V32) {
+		return errors.New("nn: adam state m/v length mismatch")
+	}
+	if n != nil && st.M != nil {
+		params := n.ParamSlices()
+		if len(st.M) != len(params) {
+			return errors.New("nn: adam state does not match network topology")
+		}
+		for i := range params {
+			if len(st.M[i]) != len(params[i]) || len(st.V[i]) != len(params[i]) {
+				return errors.New("nn: adam state does not match network layer sizes")
+			}
+		}
+	}
+	a.t, a.t32 = st.T, st.T32
+	a.m, a.v = nil, nil
+	for i := range st.M {
+		a.m = append(a.m, append([]float64(nil), st.M[i]...))
+		a.v = append(a.v, append([]float64(nil), st.V[i]...))
+	}
+	a.m32, a.v32 = nil, nil
+	for i := range st.M32 {
+		a.m32 = append(a.m32, append([]float32(nil), st.M32[i]...))
+		a.v32 = append(a.v32, append([]float32(nil), st.V32[i]...))
+	}
+	return nil
+}

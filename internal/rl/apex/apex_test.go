@@ -167,6 +167,9 @@ func TestRPCTransport(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer client.Close()
+	if _, err := client.RegisterAs(0); err != nil {
+		t.Fatal(err)
+	}
 
 	e, err := envFactory(sla.NewEnergyEfficiency())(0)
 	if err != nil {

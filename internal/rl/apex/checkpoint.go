@@ -1,0 +1,207 @@
+package apex
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+// Trainer checkpointing: the learner's full training state — the
+// serialized ddpg.Agent (networks, optimizer moments, noise/RNG
+// stream, learn counter, optionally the replay buffer) plus the
+// trainer-level progress counters — written atomically so a SIGKILL'd
+// learner process restarts mid-budget with bit-exact weights.
+//
+// File format: an 8-byte magic ("GNFVCKP1"), the big-endian uint64
+// payload length, the IEEE CRC32 of the payload, then the
+// gob-encoded TrainerCheckpoint. Writes go to a temp file in the
+// destination directory, fsync, then rename, so a crash mid-write
+// leaves the previous checkpoint intact; the CRC rejects the
+// torn-read case of a checkpoint copied off a dying machine.
+
+// checkpointMagic identifies (and versions) the checkpoint format.
+const checkpointMagic = "GNFVCKP1"
+
+// TrainerCheckpoint is everything a restarted trainer needs to resume
+// a training run where it stopped.
+type TrainerCheckpoint struct {
+	// Agent is the ddpg.Agent state blob (ddpg.Agent.SaveState).
+	Agent []byte
+	// Version is the learner's parameter-broadcast version.
+	Version int
+	// Updates is the learner's completed update count (its agent's
+	// LearnSteps at save time).
+	Updates int
+	// Pushes and Received are the learner's experience counters; the
+	// resumed pacing loop needs Received to compute its allowance.
+	Pushes, Received int64
+	// Steps and TotalSteps record trainer progress against its budget.
+	Steps, TotalSteps int
+}
+
+// WriteCheckpoint atomically writes ck to path: temp file in the same
+// directory, fsync, rename.
+func WriteCheckpoint(path string, ck *TrainerCheckpoint) error {
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(ck); err != nil {
+		return fmt.Errorf("apex: encode checkpoint: %w", err)
+	}
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, ".ckpt-*")
+	if err != nil {
+		return fmt.Errorf("apex: checkpoint temp file: %w", err)
+	}
+	tmp := f.Name()
+	cleanup := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	var header [20]byte
+	copy(header[:8], checkpointMagic)
+	binary.BigEndian.PutUint64(header[8:16], uint64(payload.Len()))
+	binary.BigEndian.PutUint32(header[16:20], crc32.ChecksumIEEE(payload.Bytes()))
+	if _, err := f.Write(header[:]); err != nil {
+		return cleanup(fmt.Errorf("apex: write checkpoint: %w", err))
+	}
+	if _, err := f.Write(payload.Bytes()); err != nil {
+		return cleanup(fmt.Errorf("apex: write checkpoint: %w", err))
+	}
+	if err := f.Sync(); err != nil {
+		return cleanup(fmt.Errorf("apex: sync checkpoint: %w", err))
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("apex: close checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("apex: publish checkpoint: %w", err)
+	}
+	// Persist the rename itself; best-effort (some filesystems refuse
+	// directory fsync).
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// ReadCheckpoint reads and validates a checkpoint file: magic, length
+// and CRC must all match before the payload is decoded.
+func ReadCheckpoint(path string) (*TrainerCheckpoint, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("apex: read checkpoint: %w", err)
+	}
+	if len(raw) < 20 || string(raw[:8]) != checkpointMagic {
+		return nil, errors.New("apex: not a trainer checkpoint (bad magic)")
+	}
+	n := binary.BigEndian.Uint64(raw[8:16])
+	if uint64(len(raw)-20) != n {
+		return nil, fmt.Errorf("apex: truncated checkpoint: header says %d payload bytes, have %d", n, len(raw)-20)
+	}
+	payload := raw[20:]
+	if got, want := crc32.ChecksumIEEE(payload), binary.BigEndian.Uint32(raw[16:20]); got != want {
+		return nil, fmt.Errorf("apex: corrupt checkpoint: CRC %08x, want %08x", got, want)
+	}
+	var ck TrainerCheckpoint
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&ck); err != nil {
+		return nil, fmt.Errorf("apex: decode checkpoint: %w", err)
+	}
+	return &ck, nil
+}
+
+// Checkpoint writes the trainer's current training state to path
+// (atomically; see WriteCheckpoint). Replay contents are included
+// when cfg.CheckpointReplay is set. Call it from the goroutine
+// driving learner updates (the remote pacing loop checkpoints between
+// updates; a quiesced trainer can checkpoint any time) — concurrent
+// RPC pushes are safe, concurrent updates are not.
+func (t *Trainer) Checkpoint(path string) error {
+	l := t.learner
+	// Counter order matters: capture Received before the replay
+	// snapshot so the restored pacing allowance never exceeds the
+	// experience actually present in the restored buffer.
+	pushes, received := l.pushes.Load(), l.received.Load()
+	l.mu.Lock()
+	version := l.version
+	l.mu.Unlock()
+	blob, err := l.agent.StateBytes(t.cfg.CheckpointReplay)
+	if err != nil {
+		return err
+	}
+	return WriteCheckpoint(path, &TrainerCheckpoint{
+		Agent:      blob,
+		Version:    version,
+		Updates:    l.agent.LearnSteps(),
+		Pushes:     pushes,
+		Received:   received,
+		Steps:      t.steps,
+		TotalSteps: t.cfg.TotalSteps,
+	})
+}
+
+// Resume arranges for the next Run to restore training state from the
+// checkpoint at path before stepping: the learner continues mid-budget
+// with bit-exact weights, optimizer moments and (if checkpointed)
+// replay contents. The trainer must be configured identically to the
+// one that wrote the checkpoint — the agent configuration is verified
+// strictly on restore. Call before Run.
+func (t *Trainer) Resume(path string) error {
+	if path == "" {
+		return errors.New("apex: empty resume path")
+	}
+	if _, err := os.Stat(path); err != nil {
+		return fmt.Errorf("apex: resume: %w", err)
+	}
+	t.resumePath = path
+	return nil
+}
+
+// ResumedUpdates reports how many learner updates the checkpoint
+// restored by the last Run carried, or -1 if the run did not resume.
+func (t *Trainer) ResumedUpdates() int { return t.resumedUpdates }
+
+// applyResume restores the recorded checkpoint into the learner. The
+// run modes call it once their replay implementation is installed
+// (the snapshot must restore into a matching buffer).
+func (t *Trainer) applyResume() error {
+	if t.resumePath == "" {
+		return nil
+	}
+	ck, err := ReadCheckpoint(t.resumePath)
+	if err != nil {
+		return err
+	}
+	if err := t.learner.restoreCheckpoint(ck); err != nil {
+		return err
+	}
+	t.steps = ck.Steps
+	t.resumedUpdates = ck.Updates
+	return nil
+}
+
+// restoreCheckpoint loads a checkpoint into the learner: agent state,
+// broadcast version (with a fresh parameter cache), and the
+// experience counters the pacing loop reads.
+func (l *Learner) restoreCheckpoint(ck *TrainerCheckpoint) error {
+	if err := l.agent.LoadStateBytes(ck.Agent); err != nil {
+		return err
+	}
+	l.mu.Lock()
+	l.version = ck.Version
+	err := l.refreshParamCache()
+	l.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	l.pushes.Store(ck.Pushes)
+	l.received.Store(ck.Received)
+	return nil
+}

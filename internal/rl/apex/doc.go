@@ -85,4 +85,42 @@
 // applies the same cap to its update budget. Zero (the default)
 // preserves the fixed LearnPerStep budget of the comparable-runs
 // contract above.
+//
+// # Fault tolerance
+//
+// The remote mode assumes processes and the network fail, and makes
+// every failure either recoverable or loud:
+//
+//   - Learner crash: with TrainerConfig.CheckpointPath set the
+//     trainer atomically writes its full training state (the agent's
+//     SaveState blob plus version/progress counters; checkpoint.go)
+//     every CheckpointEvery updates and after drain. Trainer.Resume
+//     restores it — a SIGKILL'd learner restarts mid-budget with
+//     bit-exact weights, and with CheckpointReplay even its next
+//     updates are bit-exact. Files are magic-tagged and
+//     CRC-checksummed; a torn or corrupt checkpoint is rejected, not
+//     half-loaded.
+//   - Actor crash: spawned ranks are supervised (remote.go). A
+//     crashed rank is respawned on its original sigma/seed ladder
+//     rung with jittered exponential backoff, at most
+//     MaxActorRestarts times; exhausting the budget fails the round
+//     instead of training on with a hole in the exploration ladder.
+//   - Zombie actors: Register issues a per-actor epoch, and every
+//     Push/Pull carries it. A respawn supersedes the old epoch, so a
+//     hung predecessor's late calls fail fatally (ErrStaleActorEpoch)
+//     rather than corrupting the new incarnation's accounting; an
+//     unregistered ID is rejected outright (ErrUnregisteredActor).
+//     Drain is additionally bounded by DrainTimeout of push-heartbeat
+//     silence, after which stragglers are killed.
+//   - Network faults: every client call has a deadline (Client.
+//     Timeout) that tears down the connection rather than wedging a
+//     goroutine; RemoteLearner redials with jittered exponential
+//     backoff and transparently re-registers (fresh epoch) when the
+//     learner restarted — only deliberate rejections are fatal.
+//
+// FaultProxy (faultrpc.go) injects drops, delays and partitions
+// between actors and learner for tests; TestChaosKillResume drives
+// the whole story — crash-injected actor, lossy proxy, SIGKILL'd and
+// resumed learner — and still demands the full update budget and
+// bit-exact restored weights across processes.
 package apex

@@ -1,0 +1,213 @@
+package apex
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// faultrpc: a seeded-deterministic TCP proxy for injecting transport
+// faults between actors and the learner. The chaos tests point
+// TrainerConfig.AdvertiseAddr at a FaultProxy so every actor RPC
+// crosses it; rules then drop connections (actors see a mid-call
+// transport error and must redial), delay them (exercising per-call
+// deadlines and backoff), or partition the link entirely. Faults are
+// drawn from a seeded RNG, so a failing chaos run replays with the
+// same fault schedule.
+
+// FaultRule parameterizes the proxy's per-connection fault draws.
+type FaultRule struct {
+	// DropProb is the probability that an accepted connection is cut
+	// after a short delay instead of proxied — the client's next read
+	// or write on it fails mid-call.
+	DropProb float64
+	// DelayProb is the probability that a connection's setup is held
+	// for Delay before any bytes flow.
+	DelayProb float64
+	Delay     time.Duration
+}
+
+// FaultProxyStats counts injected faults.
+type FaultProxyStats struct {
+	Accepted, Dropped, Delayed, Refused int64
+}
+
+// FaultProxy is a TCP proxy in front of a learner Server that injects
+// faults per FaultRule. Zero-valued rules proxy transparently.
+type FaultProxy struct {
+	target   string
+	listener net.Listener
+	wg       sync.WaitGroup
+
+	mu          sync.Mutex
+	rng         *rand.Rand
+	rule        FaultRule
+	partitioned bool
+	conns       map[net.Conn]struct{}
+	closed      bool
+
+	accepted, dropped, delayed, refused atomic.Int64
+}
+
+// NewFaultProxy listens on an ephemeral loopback port and forwards
+// connections to target, applying fault rules drawn from an RNG
+// seeded with seed.
+func NewFaultProxy(target string, seed int64) (*FaultProxy, error) {
+	if target == "" {
+		return nil, errors.New("apex: fault proxy needs a target address")
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("apex: fault proxy listen: %w", err)
+	}
+	p := &FaultProxy{
+		target:   target,
+		listener: ln,
+		rng:      rand.New(rand.NewSource(seed)),
+		conns:    make(map[net.Conn]struct{}),
+	}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr is the proxy's listen address — what actors should dial.
+func (p *FaultProxy) Addr() string { return p.listener.Addr().String() }
+
+// SetRule replaces the fault rule (applies to new connections).
+func (p *FaultProxy) SetRule(r FaultRule) {
+	p.mu.Lock()
+	p.rule = r
+	p.mu.Unlock()
+}
+
+// Partition, when on, severs every live connection and refuses new
+// ones until turned off — a full network partition between the actors
+// and the learner.
+func (p *FaultProxy) Partition(on bool) {
+	p.mu.Lock()
+	p.partitioned = on
+	if on {
+		for c := range p.conns {
+			c.Close()
+		}
+	}
+	p.mu.Unlock()
+}
+
+// Stats returns the injected-fault counters.
+func (p *FaultProxy) Stats() FaultProxyStats {
+	return FaultProxyStats{
+		Accepted: p.accepted.Load(),
+		Dropped:  p.dropped.Load(),
+		Delayed:  p.delayed.Load(),
+		Refused:  p.refused.Load(),
+	}
+}
+
+// Close stops the proxy and severs every connection.
+func (p *FaultProxy) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	for c := range p.conns {
+		c.Close()
+	}
+	p.mu.Unlock()
+	err := p.listener.Close()
+	p.wg.Wait()
+	return err
+}
+
+// acceptLoop draws one fault decision per accepted connection.
+func (p *FaultProxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		conn, err := p.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		p.accepted.Add(1)
+		p.mu.Lock()
+		if p.closed || p.partitioned {
+			refused := p.partitioned
+			p.mu.Unlock()
+			conn.Close()
+			if refused {
+				p.refused.Add(1)
+				continue
+			}
+			return
+		}
+		rule := p.rule
+		drop := rule.DropProb > 0 && p.rng.Float64() < rule.DropProb
+		delay := rule.DelayProb > 0 && p.rng.Float64() < rule.DelayProb
+		p.conns[conn] = struct{}{}
+		p.mu.Unlock()
+
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			defer p.forget(conn)
+			if drop {
+				// Cut after a beat: long enough for the client to have
+				// committed a request onto the wire, short enough to
+				// fail it mid-call.
+				p.dropped.Add(1)
+				time.Sleep(time.Millisecond)
+				conn.Close()
+				return
+			}
+			if delay {
+				p.delayed.Add(1)
+				time.Sleep(rule.Delay)
+			}
+			p.proxy(conn)
+		}()
+	}
+}
+
+// forget drops conn from the tracking set and closes it.
+func (p *FaultProxy) forget(conn net.Conn) {
+	p.mu.Lock()
+	delete(p.conns, conn)
+	p.mu.Unlock()
+	conn.Close()
+}
+
+// proxy shuttles bytes both ways until either side closes.
+func (p *FaultProxy) proxy(client net.Conn) {
+	upstream, err := net.Dial("tcp", p.target)
+	if err != nil {
+		return // learner down: client sees the severed connection
+	}
+	p.mu.Lock()
+	if p.closed || p.partitioned {
+		p.mu.Unlock()
+		upstream.Close()
+		return
+	}
+	p.conns[upstream] = struct{}{}
+	p.mu.Unlock()
+	defer p.forget(upstream)
+
+	done := make(chan struct{}, 2)
+	go func() {
+		io.Copy(upstream, client)
+		upstream.Close()
+		client.Close()
+		done <- struct{}{}
+	}()
+	io.Copy(client, upstream)
+	upstream.Close()
+	client.Close()
+	<-done
+}

@@ -1,0 +1,129 @@
+package apex
+
+import (
+	"testing"
+	"time"
+)
+
+// proxyFixture stands a learner server up behind a FaultProxy.
+func proxyFixture(t *testing.T, seed int64) (*Learner, *Server, *FaultProxy) {
+	t.Helper()
+	learner := rpcLearner(t)
+	srv, err := Serve(learner, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	proxy, err := NewFaultProxy(srv.Addr(), seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { proxy.Close() })
+	return learner, srv, proxy
+}
+
+// TestFaultProxyTransparent pins that a rule-free proxy is invisible
+// to the RPC layer: register, push and pull all work through it.
+func TestFaultProxyTransparent(t *testing.T) {
+	learner, _, proxy := proxyFixture(t, 1)
+	client, err := Dial(proxy.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if _, err := client.RegisterAs(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.PushExperience(rpcBatch(3)); err != nil {
+		t.Fatal(err)
+	}
+	if _, data, err := client.PullParams(0); err != nil || len(data) == 0 {
+		t.Fatalf("pull through proxy: %d bytes, %v", len(data), err)
+	}
+	if _, transitions := learner.Stats(); transitions != 3 {
+		t.Errorf("learner got %d transitions through proxy, want 3", transitions)
+	}
+	if st := proxy.Stats(); st.Accepted == 0 {
+		t.Errorf("proxy stats show no accepted connections: %+v", st)
+	}
+}
+
+// TestFaultProxyDropsAndRetry pins the retry story end to end: with
+// the proxy killing every new connection, a RemoteLearner exhausts its
+// retries and fails; once the fault is lifted the same RemoteLearner
+// recovers on the next call.
+func TestFaultProxyDropsAndRetry(t *testing.T) {
+	learner, _, proxy := proxyFixture(t, 2)
+	rl := NewRemoteLearner(proxy.Addr(), 1)
+	rl.MaxRetries = 2
+	rl.Backoff = time.Millisecond
+	defer rl.Close()
+
+	proxy.SetRule(FaultRule{DropProb: 1})
+	if err := rl.PushExperience(rpcBatch(1)); err == nil {
+		t.Fatal("push through a fully lossy proxy succeeded")
+	}
+	if st := proxy.Stats(); st.Dropped == 0 {
+		t.Errorf("no connections dropped: %+v", st)
+	}
+
+	proxy.SetRule(FaultRule{})
+	if err := rl.PushExperience(rpcBatch(2)); err != nil {
+		t.Fatalf("push after fault lifted: %v", err)
+	}
+	if _, transitions := learner.Stats(); transitions != 2 {
+		t.Errorf("learner got %d transitions, want 2", transitions)
+	}
+}
+
+// TestFaultProxyDelay pins the delay rule: calls still succeed, just
+// slower, and the proxy counts them.
+func TestFaultProxyDelay(t *testing.T) {
+	_, _, proxy := proxyFixture(t, 3)
+	proxy.SetRule(FaultRule{DelayProb: 1, Delay: 20 * time.Millisecond})
+	start := time.Now()
+	client, err := Dial(proxy.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if _, err := client.RegisterAs(0); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 20*time.Millisecond {
+		t.Errorf("delayed connection completed in %v, want >= 20ms", elapsed)
+	}
+	if st := proxy.Stats(); st.Delayed == 0 {
+		t.Errorf("no connections delayed: %+v", st)
+	}
+}
+
+// TestFaultProxyPartition pins partition semantics: existing
+// connections are severed and new ones refused until the partition
+// heals, after which a RemoteLearner recovers by redialing.
+func TestFaultProxyPartition(t *testing.T) {
+	learner, _, proxy := proxyFixture(t, 4)
+	rl := NewRemoteLearner(proxy.Addr(), 2)
+	rl.MaxRetries = 2
+	rl.Backoff = time.Millisecond
+	defer rl.Close()
+	if err := rl.PushExperience(rpcBatch(1)); err != nil {
+		t.Fatal(err)
+	}
+
+	proxy.Partition(true)
+	if err := rl.PushExperience(rpcBatch(1)); err == nil {
+		t.Fatal("push across a partition succeeded")
+	}
+	if st := proxy.Stats(); st.Refused == 0 {
+		t.Errorf("partition refused no connections: %+v", st)
+	}
+
+	proxy.Partition(false)
+	if err := rl.PushExperience(rpcBatch(1)); err != nil {
+		t.Fatalf("push after partition healed: %v", err)
+	}
+	if _, transitions := learner.Stats(); transitions != 2 {
+		t.Errorf("learner got %d transitions, want 2", transitions)
+	}
+}

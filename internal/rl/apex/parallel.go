@@ -87,6 +87,11 @@ func (t *Trainer) runParallel() error {
 		agent.SetFloat32(true)
 		defer agent.SetFloat32(false)
 	}
+	// Restore checkpoint state only after the replay implementation
+	// and precision mode match the one that wrote it.
+	if err := t.applyResume(); err != nil {
+		return err
+	}
 
 	// Build the batched driver over the round-robin actors' resources:
 	// their environments back the VecEnv, actor 0's agent becomes the

@@ -3,6 +3,7 @@ package apex
 import (
 	"bytes"
 	"fmt"
+	"math/rand"
 	"os"
 	"os/exec"
 	"strconv"
@@ -14,10 +15,11 @@ import (
 
 // This file is the trainer-process side of the multi-process mode:
 // the trainer serves its learner over net/rpc (rpc.go), optionally
-// spawns the actor processes itself (SpawnRemote), paces learner
-// updates against the experience actually received, and drains the
-// round gracefully once the update budget is spent. The actor-process
-// side is remoteactor.go.
+// spawns and supervises the actor processes itself (SpawnRemote),
+// paces learner updates against the experience actually received,
+// checkpoints on an interval, and drains the round gracefully once
+// the update budget is spent. The actor-process side is
+// remoteactor.go.
 
 // remotePollInterval is how often the pacing loop re-checks the
 // received-experience counter while waiting for actors. Unlike the
@@ -65,16 +67,154 @@ func (t *Trainer) spawnActor(addr string, rank, steps int, specJSON []byte) (*ex
 	return cmd, nil
 }
 
+// fleet tracks the spawned actor processes so the supervisors, the
+// drain path and the failure path can coordinate: which process
+// currently serves each rank, whether the fleet has been stopped, and
+// the first fatal error.
+type fleet struct {
+	mu      sync.Mutex
+	cmds    map[int]*exec.Cmd
+	stopped bool
+	err     error
+}
+
+// track records rank's current process; it reports false (and kills
+// the process) when the fleet has already been stopped, closing the
+// race between a respawn and a concurrent stop.
+func (f *fleet) track(rank int, cmd *exec.Cmd) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.stopped {
+		cmd.Process.Kill()
+		return false
+	}
+	f.cmds[rank] = cmd
+	return true
+}
+
+// untrack clears rank's process entry after Wait returns.
+func (f *fleet) untrack(rank int) {
+	f.mu.Lock()
+	delete(f.cmds, rank)
+	f.mu.Unlock()
+}
+
+// fail records the first fatal fleet error and kills every live actor
+// so the round ends instead of limping on with a hole in the ladder.
+func (f *fleet) fail(err error) {
+	f.mu.Lock()
+	if f.err == nil {
+		f.err = err
+	}
+	f.mu.Unlock()
+	f.stop()
+}
+
+// stop kills every live actor process and blocks respawns.
+func (f *fleet) stop() {
+	f.mu.Lock()
+	f.stopped = true
+	for _, cmd := range f.cmds {
+		cmd.Process.Kill()
+	}
+	f.mu.Unlock()
+}
+
+// firstErr returns the recorded fatal error, if any.
+func (f *fleet) firstErr() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.err
+}
+
+// superviseRank keeps one actor rank alive: spawn, wait, and on a
+// crash respawn the same rank — identical sigma/seed ladder rung,
+// identical step budget — with jittered exponential backoff, up to
+// cfg.MaxActorRestarts times. Respawns stop once the round is
+// draining (the rank's crash no longer matters) or the fleet has been
+// stopped. A rank that exhausts its restart budget fails the fleet.
+func (t *Trainer) superviseRank(fl *fleet, service *LearnerService, addr string, rank, steps int, specJSON []byte, jrng *rand.Rand) {
+	base := t.cfg.ActorRestartBackoff
+	if base <= 0 {
+		base = 250 * time.Millisecond
+	}
+	for restarts := 0; ; restarts++ {
+		cmd, err := t.spawnActor(addr, rank, steps, specJSON)
+		if err != nil {
+			fl.fail(err)
+			return
+		}
+		if !fl.track(rank, cmd) {
+			cmd.Wait()
+			return
+		}
+		werr := cmd.Wait()
+		fl.untrack(rank)
+		if werr == nil {
+			return // clean exit
+		}
+		fl.mu.Lock()
+		stopped := fl.stopped
+		fl.mu.Unlock()
+		if stopped || service.Draining() {
+			return
+		}
+		if restarts >= t.cfg.MaxActorRestarts {
+			fl.fail(fmt.Errorf("apex: actor process %d: %w (gave up after %d restarts)",
+				rank, werr, restarts))
+			return
+		}
+		// Jittered exponential backoff before the respawn, so several
+		// ranks crashed by one fault don't re-register in lockstep.
+		d := base << uint(restarts)
+		if d > 5*time.Second {
+			d = 5 * time.Second
+		}
+		d = d/2 + time.Duration(jrng.Int63n(int64(d/2)+1))
+		fmt.Fprintf(os.Stderr, "apex: actor rank %d crashed (%v); respawn %d/%d in %v\n",
+			rank, werr, restarts+1, t.cfg.MaxActorRestarts, d)
+		time.Sleep(d)
+		if service.Draining() {
+			return
+		}
+	}
+}
+
+// maybeCheckpoint writes an interval checkpoint when the trainer is
+// configured for them and enough updates have landed since the last.
+func (t *Trainer) maybeCheckpoint(updates int, lastCkpt *int) error {
+	if t.cfg.CheckpointPath == "" || t.cfg.CheckpointEvery <= 0 {
+		return nil
+	}
+	if updates-*lastCkpt < t.cfg.CheckpointEvery {
+		return nil
+	}
+	if err := t.Checkpoint(t.cfg.CheckpointPath); err != nil {
+		return err
+	}
+	*lastCkpt = updates
+	return nil
+}
+
 // runRemote executes the multi-process mode: serve the learner over
 // RPC, launch (or await) RemoteActors actor processes, pace learner
-// updates against received experience, and drain gracefully.
+// updates against received experience, and drain gracefully. Spawned
+// fleets are supervised: a crashed rank is respawned on its original
+// ladder rung (bounded, jittered backoff), and a wedged fleet is
+// killed once drain has outwaited cfg.DrainTimeout of heartbeat
+// silence. With CheckpointPath set the trainer checkpoints on an
+// update interval and after drain; a trainer that Resume'd picks the
+// budget up where the checkpoint left it.
 //
 // The update budget matches the round-robin mode exactly —
 // LearnPerStep updates per post-warmup environment step — but updates
 // are paced to the experience actually received (ROADMAP's "adaptive
 // learner pacing" in its simplest form): the learner never runs ahead
 // of the replay the way a free-running loop would while remote actors
-// are still warming up.
+// are still warming up. Updates are counted by the agent's LearnSteps
+// delta, so a starved LearnStep (replay below one batch — possible
+// right after a resume without a replay snapshot) does not burn
+// budget without learning.
 func (t *Trainer) runRemote() error {
 	// Concurrent RPC pushes and the pacing loop's updates contend on
 	// the replay; give them the same lock-striped buffer the parallel
@@ -88,6 +228,11 @@ func (t *Trainer) runRemote() error {
 		// mirrors), so the wire format is unchanged.
 		t.learner.Agent().SetFloat32(true)
 		defer t.learner.Agent().SetFloat32(false)
+	}
+	// Restore checkpoint state only after the replay implementation
+	// and precision mode match the one that wrote it.
+	if err := t.applyResume(); err != nil {
+		return err
 	}
 	spec := t.cfg.RemoteSpec
 	addr := t.cfg.ListenAddr
@@ -107,20 +252,20 @@ func (t *Trainer) runRemote() error {
 	}
 
 	// Launch the actor fleet, splitting TotalSteps across ranks
-	// (earlier ranks absorb the remainder). With no SpawnRemote the
-	// actors are external: they connect to ListenAddr on their own
-	// and run until drained.
+	// (earlier ranks absorb the remainder), one supervisor per rank.
+	// With no SpawnRemote the actors are external: they connect to
+	// ListenAddr on their own and run until drained.
 	spawned := len(t.cfg.SpawnRemote) > 0
 	childrenDone := make(chan struct{})
-	var (
-		childMu  sync.Mutex
-		childErr error
-	)
+	fl := &fleet{cmds: make(map[int]*exec.Cmd)}
 	if spawned {
+		actorAddr := srv.Addr()
+		if t.cfg.AdvertiseAddr != "" {
+			actorAddr = t.cfg.AdvertiseAddr
+		}
 		share := t.cfg.TotalSteps / t.cfg.RemoteActors
 		extra := t.cfg.TotalSteps % t.cfg.RemoteActors
-		var cmds []*exec.Cmd
-		var ranks []int
+		var wg sync.WaitGroup
 		for rank := 0; rank < t.cfg.RemoteActors; rank++ {
 			steps := share
 			if rank < extra {
@@ -129,31 +274,12 @@ func (t *Trainer) runRemote() error {
 			if steps == 0 {
 				continue
 			}
-			cmd, err := t.spawnActor(srv.Addr(), rank, steps, specJSON.Bytes())
-			if err != nil {
-				// Don't strand already-started actors on a dead round.
-				for _, c := range cmds {
-					c.Process.Kill()
-					c.Wait()
-				}
-				return err
-			}
-			cmds = append(cmds, cmd)
-			ranks = append(ranks, rank)
-		}
-		var wg sync.WaitGroup
-		for i, cmd := range cmds {
 			wg.Add(1)
-			go func(rank int, cmd *exec.Cmd) {
+			jrng := rand.New(rand.NewSource(0x5efa11 + int64(rank)))
+			go func(rank, steps int) {
 				defer wg.Done()
-				if err := cmd.Wait(); err != nil {
-					childMu.Lock()
-					if childErr == nil {
-						childErr = fmt.Errorf("apex: actor process %d: %w", rank, err)
-					}
-					childMu.Unlock()
-				}
-			}(ranks[i], cmd)
+				t.superviseRank(fl, service, actorAddr, rank, steps, specJSON.Bytes(), jrng)
+			}(rank, steps)
 		}
 		go func() {
 			wg.Wait()
@@ -168,7 +294,8 @@ func (t *Trainer) runRemote() error {
 	budget := t.cfg.LearnPerStep * (t.cfg.TotalSteps - t.cfg.WarmupSteps)
 	batchSz := t.learner.Agent().Config().BatchSize
 	spi := t.cfg.SamplesPerInsert
-	updates := 0
+	updates := t.learner.Agent().LearnSteps() // nonzero after a resume
+	lastCkpt := updates
 	done := false
 	for updates < budget {
 		if spawned && !done {
@@ -193,13 +320,25 @@ func (t *Trainer) runRemote() error {
 				allowed = lim
 			}
 		}
+		starved := false
 		for updates < allowed {
 			t.learner.LearnStep(t.cfg.VersionEvery)
-			updates++
+			now := t.learner.Agent().LearnSteps()
+			if now == updates {
+				// Replay below one batch: no update happened, and
+				// none will until more experience lands.
+				starved = true
+				break
+			}
+			updates = now
+			if err := t.maybeCheckpoint(updates, &lastCkpt); err != nil {
+				fl.stop()
+				return err
+			}
 		}
-		if done && updates >= allowed {
-			// The fleet is gone; a ratio-capped remainder will never be
-			// unlocked by new experience.
+		if done && (updates >= allowed || starved) {
+			// The fleet is gone; a ratio-capped or starved remainder
+			// will never be unlocked by new experience.
 			break
 		}
 		if updates < budget {
@@ -208,11 +347,33 @@ func (t *Trainer) runRemote() error {
 	}
 
 	// Graceful drain: every subsequent push is still accepted but
-	// tells its actor to stop. Spawned fleets are then simply waited
-	// for; external fleets are given until pushes quiesce.
+	// tells its actor to stop. Spawned fleets are then waited for —
+	// bounded, when DrainTimeout is set, by heartbeat silence, after
+	// which stragglers are killed so a zombie cannot wedge the round.
+	// External fleets are given until pushes quiesce.
 	service.BeginDrain()
 	if spawned {
-		<-childrenDone
+		if t.cfg.DrainTimeout > 0 {
+			ticker := time.NewTicker(t.cfg.DrainTimeout / 4)
+		drainWait:
+			for {
+				select {
+				case <-childrenDone:
+					break drainWait
+				case <-ticker.C:
+					if service.FleetIdle(t.cfg.DrainTimeout) {
+						fmt.Fprintf(os.Stderr, "apex: drain: no push heartbeat for %v; killing remaining actors\n",
+							t.cfg.DrainTimeout)
+						fl.stop()
+						<-childrenDone
+						break drainWait
+					}
+				}
+			}
+			ticker.Stop()
+		} else {
+			<-childrenDone
+		}
 	} else {
 		quiesce(t.learner)
 	}
@@ -222,12 +383,18 @@ func (t *Trainer) runRemote() error {
 		received = t.cfg.TotalSteps
 	}
 	t.steps = received
+	// Final checkpoint: capture the drained end-state so a restart
+	// after the round (or a resume of an interval checkpoint) sees the
+	// completed budget.
+	if t.cfg.CheckpointPath != "" {
+		if err := t.Checkpoint(t.cfg.CheckpointPath); err != nil {
+			return err
+		}
+	}
 	if err := srv.Close(); err != nil {
 		return err
 	}
-	childMu.Lock()
-	defer childMu.Unlock()
-	return childErr
+	return fl.firstErr()
 }
 
 // Note for external (non-spawned) fleets: the pacing loop terminates

@@ -2,7 +2,9 @@ package apex
 
 import (
 	"fmt"
+	"math/rand"
 	"net/rpc"
+	"os"
 	"sync"
 	"time"
 )
@@ -13,10 +15,13 @@ import (
 // (RunRemoteActor). The trainer-process side is remote.go.
 
 // RemoteLearner is a LearnerAPI backed by an RPC connection that
-// redials with exponential backoff when the transport fails, so a
-// learner restart (or a transient network fault) does not kill the
-// actor. Application-level errors returned by the learner are not
-// retried — only transport failures are.
+// redials with jittered exponential backoff when the transport fails,
+// so a learner restart (or a transient network fault) does not kill
+// the actor. Application-level errors returned by the learner are not
+// retried — with one exception: ErrUnregisteredActor triggers a
+// re-registration (the learner restarted and lost this actor's
+// epoch) and one more attempt. ErrStaleActorEpoch is always fatal:
+// this actor has been superseded by a respawn and must exit.
 //
 // A RemoteLearner is used by one actor goroutine; it is not
 // goroutine-safe beyond the internal reconnect bookkeeping.
@@ -33,29 +38,38 @@ type RemoteLearner struct {
 	MaxRetries int
 	Backoff    time.Duration
 	MaxBackoff time.Duration
+	// CallTimeout is the per-call deadline applied to every dialed
+	// connection (Client.Timeout); zero disables deadlines.
+	CallTimeout time.Duration
 
-	mu      sync.Mutex
-	client  *Client
-	version int  // newest parameter version pulled, reported in pushes
-	drain   bool // learner asked us to stop
+	mu         sync.Mutex
+	client     *Client
+	version    int  // newest parameter version pulled, reported in pushes
+	drain      bool // learner asked us to stop
+	epoch      uint64
+	registered bool
+	jrng       *rand.Rand // backoff jitter source
 }
 
 // NewRemoteLearner builds a lazily-dialing client for the learner at
 // addr, identifying itself as actor actorID in pushes. The first RPC
-// establishes the connection.
+// establishes the connection. The jitter stream is seeded per actor
+// ID so a fleet's redial schedules decorrelate deterministically.
 func NewRemoteLearner(addr string, actorID int) *RemoteLearner {
 	return &RemoteLearner{
-		addr:       addr,
-		actorID:    actorID,
-		MaxRetries: 5,
-		Backoff:    50 * time.Millisecond,
-		MaxBackoff: 2 * time.Second,
+		addr:        addr,
+		actorID:     actorID,
+		MaxRetries:  5,
+		Backoff:     50 * time.Millisecond,
+		MaxBackoff:  2 * time.Second,
+		CallTimeout: DefaultCallTimeout,
+		jrng:        rand.New(rand.NewSource(0x6e6676 + int64(actorID)*2654435761)),
 	}
 }
 
-// backoffFor returns the capped sleep before retry attempt+1: the
-// initial Backoff doubled attempt times, clamped to MaxBackoff (the
-// doubling is overflow-safe for any attempt count).
+// backoffFor returns the capped base sleep before retry attempt+1:
+// the initial Backoff doubled attempt times, clamped to MaxBackoff
+// (the doubling is overflow-safe for any attempt count).
 func (r *RemoteLearner) backoffFor(attempt int) time.Duration {
 	limit := r.MaxBackoff
 	if limit <= 0 {
@@ -71,6 +85,22 @@ func (r *RemoteLearner) backoffFor(attempt int) time.Duration {
 	return d
 }
 
+// jitteredBackoff spreads the base backoff uniformly over
+// [backoffFor/2, backoffFor], so a fleet of actors that lost the
+// learner at the same instant does not redial it in lockstep (the
+// thundering-herd failure mode of synchronized retry schedules).
+func (r *RemoteLearner) jitteredBackoff(attempt int) time.Duration {
+	d := r.backoffFor(attempt)
+	half := d / 2
+	if half <= 0 {
+		return d
+	}
+	r.mu.Lock()
+	j := time.Duration(r.jrng.Int63n(int64(half) + 1))
+	r.mu.Unlock()
+	return half + j
+}
+
 // conn returns the live connection, dialing if needed.
 func (r *RemoteLearner) conn() (*Client, error) {
 	r.mu.Lock()
@@ -80,6 +110,7 @@ func (r *RemoteLearner) conn() (*Client, error) {
 		if err != nil {
 			return nil, err
 		}
+		c.Timeout = r.CallTimeout
 		r.client = c
 	}
 	return r.client, nil
@@ -99,26 +130,53 @@ func (r *RemoteLearner) dropConn(c *Client) {
 // retriable reports whether an RPC error is transport-level (worth a
 // redial) rather than an application error from the learner itself.
 // net/rpc surfaces server-side errors as rpc.ServerError; everything
-// else here is a connection fault.
+// else here — deadline expiries included — is a connection fault.
 func retriable(err error) bool {
 	_, isApp := err.(rpc.ServerError)
 	return !isApp
 }
 
-// call invokes one RPC method, redialing with capped exponential
-// backoff on transport failures. Once the learner has signalled drain
-// the first transport failure is final: the round is over, so a
-// vanished learner means there is nothing left to deliver and
-// retrying would only delay the actor's exit.
-func (r *RemoteLearner) call(method string, args, reply any) error {
+// reregister refreshes this actor's registration on c after an
+// ErrUnregisteredActor rejection (a restarted learner has no epochs).
+func (r *RemoteLearner) reregister(c *Client) error {
+	var reply RegisterReply
+	if err := c.call("Learner.Register", &RegisterArgs{ActorID: r.actorID}, &reply); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	r.epoch = reply.Epoch
+	r.registered = true
+	if reply.Version > r.version {
+		r.version = reply.Version
+	}
+	r.mu.Unlock()
+	return nil
+}
+
+// call invokes one RPC method, redialing with capped jittered
+// exponential backoff on transport failures. mkArgs builds the
+// request per attempt, so retries after a mid-call re-registration
+// carry the fresh epoch. Once the learner has signalled drain the
+// first transport failure is final: the round is over, so a vanished
+// learner means there is nothing left to deliver and retrying would
+// only delay the actor's exit.
+func (r *RemoteLearner) call(method string, mkArgs func() any, reply any) error {
 	var lastErr error
 	for attempt := 0; attempt <= r.MaxRetries; attempt++ {
 		c, err := r.conn()
 		if err == nil {
-			if err = c.rc.Call(method, args, reply); err == nil {
+			if err = c.call(method, mkArgs(), reply); err == nil {
 				return nil
 			}
 			if !retriable(err) {
+				if IsUnregisteredActor(err) && method != "Learner.Register" {
+					// Learner restarted (fresh service, no epochs):
+					// re-register and burn this attempt on a repeat.
+					if rerr := r.reregister(c); rerr == nil {
+						lastErr = err
+						continue
+					}
+				}
 				return err
 			}
 			r.dropConn(c)
@@ -129,32 +187,41 @@ func (r *RemoteLearner) call(method string, args, reply any) error {
 				method, r.addr, lastErr)
 		}
 		if attempt < r.MaxRetries {
-			time.Sleep(r.backoffFor(attempt))
+			time.Sleep(r.jitteredBackoff(attempt))
 		}
 	}
 	return fmt.Errorf("apex: %s to %s failed after %d attempts: %w",
 		method, r.addr, r.MaxRetries+1, lastErr)
 }
 
-// Register announces the actor and returns the learner's current
-// parameter version.
+// Register announces the actor, stores the issued epoch, and returns
+// the learner's current parameter version.
 func (r *RemoteLearner) Register() (int, error) {
 	var reply RegisterReply
-	if err := r.call("Learner.Register", &RegisterArgs{ActorID: r.actorID}, &reply); err != nil {
+	if err := r.call("Learner.Register", func() any { return &RegisterArgs{ActorID: r.actorID} }, &reply); err != nil {
 		return 0, err
 	}
+	r.mu.Lock()
+	r.epoch = reply.Epoch
+	r.registered = true
+	if reply.Version > r.version {
+		r.version = reply.Version
+	}
+	r.mu.Unlock()
 	return reply.Version, nil
 }
 
 // PushExperience implements LearnerAPI, tagging the batch with the
-// actor's rank and current parameter version and latching the
-// learner's drain signal from the reply.
+// actor's rank, registration epoch and current parameter version and
+// latching the learner's drain signal from the reply.
 func (r *RemoteLearner) PushExperience(batch []Experience) error {
-	r.mu.Lock()
-	args := PushArgs{Batch: batch, ActorID: r.actorID, Version: r.version}
-	r.mu.Unlock()
 	var reply PushReply
-	if err := r.call("Learner.Push", &args, &reply); err != nil {
+	err := r.call("Learner.Push", func() any {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		return &PushArgs{Batch: batch, ActorID: r.actorID, Epoch: r.epoch, Version: r.version}
+	}, &reply)
+	if err != nil {
 		return err
 	}
 	if reply.Drain {
@@ -168,7 +235,12 @@ func (r *RemoteLearner) PushExperience(batch []Experience) error {
 // PullParams implements LearnerAPI.
 func (r *RemoteLearner) PullParams(haveVersion int) (int, []byte, error) {
 	var reply PullReply
-	if err := r.call("Learner.Pull", &PullArgs{HaveVersion: haveVersion}, &reply); err != nil {
+	err := r.call("Learner.Pull", func() any {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		return &PullArgs{HaveVersion: haveVersion, ActorID: r.actorID, Epoch: r.epoch}
+	}, &reply)
+	if err != nil {
 		return 0, nil, err
 	}
 	r.mu.Lock()
@@ -220,8 +292,27 @@ type RemoteActorOptions struct {
 	// self-check (ActorConfig.VerifyPriorities); used by tests to prove
 	// the batched TD-error path is bit-identical across processes.
 	VerifyPriorities bool
+	// CrashAfter, when positive, makes the run fail with an injected
+	// error after that many steps — the chaos tests' actor-crash
+	// fault. CrashOnceMarker names a file that disarms the fault once
+	// it exists; it is created when the crash fires, so a supervised
+	// respawn of the same rank runs clean.
+	CrashAfter      int
+	CrashOnceMarker string
 	// Logf, when non-nil, receives progress messages.
 	Logf func(format string, args ...any)
+}
+
+// shouldInjectCrash decides (and latches, via the marker file) one
+// injected actor crash.
+func shouldInjectCrash(opt *RemoteActorOptions) bool {
+	if opt.CrashOnceMarker != "" {
+		if _, err := os.Stat(opt.CrashOnceMarker); err == nil {
+			return false // already crashed once; run clean
+		}
+		os.WriteFile(opt.CrashOnceMarker, []byte("crashed\n"), 0o644)
+	}
+	return true
 }
 
 // RunRemoteActor is the main loop of an actor process: build the
@@ -229,7 +320,9 @@ type RemoteActorOptions struct {
 // learner, sync the initial parameters, then step/push/pull until the
 // step budget is spent or the learner drains the round. The local
 // experience buffer is flushed before returning so no transitions are
-// lost.
+// lost. A crashed actor process (or an injected CrashAfter fault)
+// loses at most PushEvery-1 unflushed transitions; the supervising
+// trainer respawns the rank with its original ladder rung.
 func RunRemoteActor(spec ActorSpec, opt RemoteActorOptions) error {
 	logf := opt.Logf
 	if logf == nil {
@@ -268,6 +361,9 @@ func RunRemoteActor(spec ActorSpec, opt RemoteActorOptions) error {
 		steps = spec.Steps
 	}
 	for i := 0; steps <= 0 || i < steps; i++ {
+		if opt.CrashAfter > 0 && i == opt.CrashAfter && shouldInjectCrash(&opt) {
+			return fmt.Errorf("apex: actor %d: injected crash after %d steps", opt.Rank, i)
+		}
 		if _, _, err := actor.Step(learner); err != nil {
 			return fmt.Errorf("apex: actor %d step %d: %w", opt.Rank, i, err)
 		}

@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"net"
 	"net/rpc"
+	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // The RPC transport lets actors run in separate processes or on
@@ -15,8 +17,74 @@ import (
 // learner. Payloads are gob-encoded by net/rpc. The trainer's remote
 // mode (remote.go) serves a Learner here and spawns cmd/apexactor
 // processes against it; LearnerService adds the connection-lifecycle
-// half — actor registration, per-actor push statistics, and the
-// graceful drain signal that ends a round.
+// half — actor registration with per-actor epochs, last-push
+// heartbeats, push statistics, and the graceful drain signal that
+// ends a round.
+//
+// Fault-tolerance contract: every Push/Pull carries the actor's
+// (ID, epoch) pair issued by Register. A call without a live
+// registration fails with ErrUnregisteredActor (retryable after
+// re-registering — the normal path after a learner restart, whose
+// fresh service has no epochs); a call with a superseded epoch fails
+// with ErrStaleActorEpoch (fatal — the supervisor already respawned
+// this rank, so the zombie must exit rather than corrupt its
+// replacement's statistics). Per-call deadlines bound every client
+// RPC so a hung connection can never wedge an actor.
+
+// DefaultCallTimeout bounds one RPC round-trip (dial excluded) unless
+// the caller overrides it. Pushes and pulls move at most a few
+// hundred KB over loopback or a rack link; ten seconds is orders of
+// magnitude above healthy latency while still unwedging a dead
+// connection quickly.
+const DefaultCallTimeout = 10 * time.Second
+
+// Typed RPC failures. net/rpc flattens server-side errors into
+// rpc.ServerError strings, so cross-process matching is by message
+// prefix: keep these strings stable.
+var (
+	// ErrUnregisteredActor rejects a Push/Pull whose actor has no live
+	// registration on this learner instance. Retryable: register (or
+	// re-register, after a learner restart) and repeat the call.
+	ErrUnregisteredActor = errors.New("apex: unregistered actor")
+	// ErrStaleActorEpoch rejects a Push/Pull carrying an epoch that a
+	// newer Register for the same actor ID has superseded. Fatal: the
+	// caller is a zombie (its rank was respawned) and must exit.
+	ErrStaleActorEpoch = errors.New("apex: stale actor epoch")
+)
+
+// matchesRPCError reports whether err is target, either directly
+// (in-process) or as the rpc.ServerError net/rpc delivers to remote
+// callers (matched by message prefix).
+func matchesRPCError(err, target error) bool {
+	if errors.Is(err, target) {
+		return true
+	}
+	var se rpc.ServerError
+	if errors.As(err, &se) {
+		return strings.HasPrefix(string(se), target.Error())
+	}
+	return false
+}
+
+// IsUnregisteredActor reports whether err is an ErrUnregisteredActor
+// rejection, locally or over RPC.
+func IsUnregisteredActor(err error) bool { return matchesRPCError(err, ErrUnregisteredActor) }
+
+// IsStaleActorEpoch reports whether err is an ErrStaleActorEpoch
+// rejection, locally or over RPC.
+func IsStaleActorEpoch(err error) bool { return matchesRPCError(err, ErrStaleActorEpoch) }
+
+// DeadlineError is the retryable failure of an RPC call that exceeded
+// its deadline; the underlying connection has been torn down.
+type DeadlineError struct {
+	Method  string
+	Timeout time.Duration
+}
+
+// Error implements error.
+func (e *DeadlineError) Error() string {
+	return fmt.Sprintf("apex: %s exceeded %v deadline", e.Method, e.Timeout)
+}
 
 // PushArgs is the RPC request for experience submission.
 type PushArgs struct {
@@ -24,6 +92,9 @@ type PushArgs struct {
 	// ActorID identifies the pushing actor (its rank) for the
 	// learner-side per-actor statistics.
 	ActorID int
+	// Epoch is the registration epoch Register issued to this actor;
+	// pushes from superseded epochs are rejected (ErrStaleActorEpoch).
+	Epoch uint64
 	// Version is the parameter version the actor is currently acting
 	// with, so the learner can observe broadcast propagation.
 	Version int
@@ -44,14 +115,21 @@ type RegisterArgs struct {
 }
 
 // RegisterReply returns the current parameter version so a freshly
-// started actor can pull immediately.
+// started actor can pull immediately, plus the registration epoch the
+// actor must echo in every subsequent call.
 type RegisterReply struct {
 	Version int
+	Epoch   uint64
 }
 
-// PullArgs requests parameters newer than HaveVersion.
+// PullArgs requests parameters newer than HaveVersion, authenticated
+// by the caller's registration.
 type PullArgs struct {
 	HaveVersion int
+	// ActorID and Epoch identify the registered caller, with the same
+	// rejection semantics as PushArgs.
+	ActorID int
+	Epoch   uint64
 }
 
 // PullReply carries the current version and, when newer, the
@@ -74,27 +152,56 @@ type ActorStats struct {
 	// SyncEvery interval, which is how tests observe broadcast
 	// propagation.
 	LastVersion int
+	// Restarts counts how many times Register superseded a previous
+	// registration of the same actor ID (supervised respawns and
+	// learner-restart re-registrations both land here).
+	Restarts int
+}
+
+// actorRec is the service's internal per-actor record: the public
+// stats plus the liveness state the fault-tolerance layer tracks.
+type actorRec struct {
+	ActorStats
+	epoch    uint64
+	lastPush time.Time
 }
 
 // LearnerService is the net/rpc wrapper around a Learner. Beyond the
-// two LearnerAPI methods it tracks per-actor statistics and carries
-// the drain signal that ends a remote training round gracefully.
+// two LearnerAPI methods it tracks per-actor statistics, registration
+// epochs and last-push heartbeats, and carries the drain signal that
+// ends a remote training round gracefully.
 type LearnerService struct {
-	learner *Learner
-	drain   atomic.Bool
-	mu      sync.Mutex
-	actors  map[int]*ActorStats
+	learner   *Learner
+	drain     atomic.Bool
+	mu        sync.Mutex
+	actors    map[int]*actorRec
+	nextEpoch uint64
 }
 
 // NewLearnerService wraps a learner for RPC registration.
 func NewLearnerService(learner *Learner) *LearnerService {
-	return &LearnerService{learner: learner, actors: make(map[int]*ActorStats)}
+	return &LearnerService{learner: learner, actors: make(map[int]*actorRec)}
 }
 
-// Register is the RPC method actors call once at startup.
+// Register is the RPC method actors call at startup — and again after
+// a learner restart or a supervised respawn. Each call issues a fresh
+// epoch, implicitly fencing off any zombie still holding the previous
+// one.
 func (s *LearnerService) Register(args *RegisterArgs, reply *RegisterReply) error {
 	s.mu.Lock()
-	s.stats(args.ActorID).Registered = true
+	rec, ok := s.actors[args.ActorID]
+	if !ok {
+		rec = &actorRec{}
+		s.actors[args.ActorID] = rec
+	}
+	if rec.Registered {
+		rec.Restarts++
+	}
+	rec.Registered = true
+	s.nextEpoch++
+	rec.epoch = s.nextEpoch
+	rec.lastPush = time.Now()
+	reply.Epoch = rec.epoch
 	s.mu.Unlock()
 	v, _, err := s.learner.PullParams(0)
 	if err != nil {
@@ -104,39 +211,56 @@ func (s *LearnerService) Register(args *RegisterArgs, reply *RegisterReply) erro
 	return nil
 }
 
-// stats returns the record for one actor. Caller holds mu.
-func (s *LearnerService) stats(id int) *ActorStats {
-	st, ok := s.actors[id]
-	if !ok {
-		st = &ActorStats{}
-		s.actors[id] = st
+// checkActor validates a caller's (ID, epoch) pair and returns its
+// record. Caller holds mu.
+func (s *LearnerService) checkActor(id int, epoch uint64) (*actorRec, error) {
+	rec, ok := s.actors[id]
+	if !ok || !rec.Registered {
+		return nil, fmt.Errorf("%w %d: register first", ErrUnregisteredActor, id)
 	}
-	return st
+	if epoch != rec.epoch {
+		return nil, fmt.Errorf("%w: actor %d epoch %d superseded by %d",
+			ErrStaleActorEpoch, id, epoch, rec.epoch)
+	}
+	return rec, nil
 }
 
 // Push is the RPC method actors call to submit experience. A batch
 // pushed while the service is draining is still accepted (the
 // experience is real; dropping it would waste actor work), but the
-// reply tells the actor to stop.
+// reply tells the actor to stop. Unregistered or superseded callers
+// are rejected before the batch touches the replay.
 func (s *LearnerService) Push(args *PushArgs, reply *PushReply) error {
+	s.mu.Lock()
+	rec, err := s.checkActor(args.ActorID, args.Epoch)
+	if err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	rec.Pushes++
+	rec.Transitions += len(args.Batch)
+	if args.Version > rec.LastVersion {
+		rec.LastVersion = args.Version
+	}
+	rec.lastPush = time.Now()
+	s.mu.Unlock()
 	if err := s.learner.PushExperience(args.Batch); err != nil {
 		return err
 	}
-	s.mu.Lock()
-	st := s.stats(args.ActorID)
-	st.Pushes++
-	st.Transitions += len(args.Batch)
-	if args.Version > st.LastVersion {
-		st.LastVersion = args.Version
-	}
-	s.mu.Unlock()
 	reply.Accepted = len(args.Batch)
 	reply.Drain = s.drain.Load()
 	return nil
 }
 
-// Pull is the RPC method actors call to refresh parameters.
+// Pull is the RPC method actors call to refresh parameters, with the
+// same registration check as Push.
 func (s *LearnerService) Pull(args *PullArgs, reply *PullReply) error {
+	s.mu.Lock()
+	_, err := s.checkActor(args.ActorID, args.Epoch)
+	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
 	v, data, err := s.learner.PullParams(args.HaveVersion)
 	if err != nil {
 		return err
@@ -159,10 +283,37 @@ func (s *LearnerService) ActorStats() map[int]ActorStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	out := make(map[int]ActorStats, len(s.actors))
-	for id, st := range s.actors {
-		out[id] = *st
+	for id, rec := range s.actors {
+		out[id] = rec.ActorStats
 	}
 	return out
+}
+
+// LastPush returns the last heartbeat (Register or Push) of one actor
+// and whether it has ever registered.
+func (s *LearnerService) LastPush(id int) (time.Time, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.actors[id]
+	if !ok || !rec.Registered {
+		return time.Time{}, false
+	}
+	return rec.lastPush, true
+}
+
+// FleetIdle reports whether no registered actor has pushed within the
+// given window — the heartbeat view a draining trainer uses to detect
+// a wedged fleet. A fleet with no registered actors is idle.
+func (s *LearnerService) FleetIdle(window time.Duration) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cutoff := time.Now().Add(-window)
+	for _, rec := range s.actors {
+		if rec.Registered && rec.lastPush.After(cutoff) {
+			return false
+		}
+	}
+	return true
 }
 
 // Server hosts a Learner over TCP. It tracks its open connections so
@@ -259,30 +410,86 @@ func (s *Server) Close() error {
 // Client is a LearnerAPI backed by a single TCP connection to a
 // Server; once the connection drops its calls fail permanently. Actor
 // processes use RemoteLearner, which wraps the same calls with
-// redial-and-retry.
+// redial-and-retry. Push and Pull require a prior RegisterAs — the
+// server rejects anonymous callers.
 type Client struct {
-	rc *rpc.Client
+	rc   *rpc.Client
+	conn net.Conn
+	// Timeout bounds each RPC round-trip; on expiry the call fails
+	// with a *DeadlineError and the connection is torn down (net/rpc
+	// cannot abandon a single in-flight call). Zero disables the
+	// deadline. Set before issuing calls.
+	Timeout time.Duration
+
+	mu      sync.Mutex
+	actorID int
+	epoch   uint64
 }
 
-// Dial connects to a learner server.
+// Dial connects to a learner server. The client starts with the
+// DefaultCallTimeout per-call deadline.
 func Dial(addr string) (*Client, error) {
-	rc, err := rpc.Dial("tcp", addr)
+	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("apex: dial %s: %w", addr, err)
 	}
-	return &Client{rc: rc}, nil
+	return &Client{rc: rpc.NewClient(conn), conn: conn, Timeout: DefaultCallTimeout}, nil
+}
+
+// call invokes one RPC with the per-call deadline. A timed-out call
+// closes the connection — tearing down every call pending on it — and
+// returns a retryable *DeadlineError.
+func (c *Client) call(method string, args, reply any) error {
+	if c.Timeout <= 0 {
+		return c.rc.Call(method, args, reply)
+	}
+	call := c.rc.Go(method, args, reply, make(chan *rpc.Call, 1))
+	timer := time.NewTimer(c.Timeout)
+	defer timer.Stop()
+	select {
+	case <-call.Done:
+		return call.Error
+	case <-timer.C:
+		c.conn.Close()
+		<-call.Done // client errors out all pending calls on teardown
+		return &DeadlineError{Method: method, Timeout: c.Timeout}
+	}
+}
+
+// RegisterAs announces the client as the given actor, stores the
+// issued epoch for subsequent Push/Pull calls, and returns the
+// learner's current parameter version.
+func (c *Client) RegisterAs(actorID int) (int, error) {
+	var reply RegisterReply
+	if err := c.call("Learner.Register", &RegisterArgs{ActorID: actorID}, &reply); err != nil {
+		return 0, err
+	}
+	c.mu.Lock()
+	c.actorID, c.epoch = actorID, reply.Epoch
+	c.mu.Unlock()
+	return reply.Version, nil
+}
+
+// identity returns the registered (ID, epoch) pair; epoch 0 — never
+// registered — is rejected by the server.
+func (c *Client) identity() (int, uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.actorID, c.epoch
 }
 
 // PushExperience implements LearnerAPI.
 func (c *Client) PushExperience(batch []Experience) error {
+	id, epoch := c.identity()
 	var reply PushReply
-	return c.rc.Call("Learner.Push", &PushArgs{Batch: batch}, &reply)
+	return c.call("Learner.Push", &PushArgs{Batch: batch, ActorID: id, Epoch: epoch}, &reply)
 }
 
 // PullParams implements LearnerAPI.
 func (c *Client) PullParams(haveVersion int) (int, []byte, error) {
+	id, epoch := c.identity()
 	var reply PullReply
-	if err := c.rc.Call("Learner.Pull", &PullArgs{HaveVersion: haveVersion}, &reply); err != nil {
+	if err := c.call("Learner.Pull", &PullArgs{HaveVersion: haveVersion, ActorID: id, Epoch: epoch}, &reply); err != nil {
 		return 0, nil, err
 	}
 	return reply.Version, reply.ActorBytes, nil

@@ -51,6 +51,9 @@ func TestPushOnStoppedLearner(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer client.Close()
+	if _, err := client.RegisterAs(0); err != nil {
+		t.Fatal(err)
+	}
 	if err := client.PushExperience(rpcBatch(2)); err != nil {
 		t.Fatalf("push to live server: %v", err)
 	}
@@ -95,6 +98,9 @@ func TestPullStaleVersion(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer client.Close()
+	if _, err := client.RegisterAs(0); err != nil {
+		t.Fatal(err)
+	}
 
 	v, data, err := client.PullParams(0) // stale: learner starts at 1
 	if err != nil {

@@ -3,6 +3,7 @@ package apex
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"greennfv/internal/env"
 	"greennfv/internal/perfmodel"
@@ -129,6 +130,35 @@ type TrainerConfig struct {
 	// environment and local network; the trainer normalizes cadence,
 	// network shape and seeds from this config before serving it.
 	RemoteSpec *ActorSpec
+	// AdvertiseAddr, when non-empty, is the learner address handed to
+	// spawned actor processes instead of the actual listen address —
+	// the hook that routes actor traffic through a proxy (the chaos
+	// tests put a faultrpc.FaultProxy here). External fleets ignore
+	// it; they dial whatever they were configured with.
+	AdvertiseAddr string
+	// CheckpointPath, when non-empty, makes the remote mode write an
+	// atomic training checkpoint (see WriteCheckpoint) every
+	// CheckpointEvery learner updates and again after drain, so a
+	// killed trainer resumes mid-budget via Resume. CheckpointReplay
+	// additionally snapshots the replay buffer into each checkpoint —
+	// required for bit-exact update parity after restore, at the cost
+	// of checkpoint size.
+	CheckpointPath   string
+	CheckpointEvery  int
+	CheckpointReplay bool
+	// MaxActorRestarts bounds how many times the trainer respawns one
+	// crashed spawned-actor rank (original sigma/seed ladder rung,
+	// jittered exponential backoff). Zero disables supervision: a
+	// crashed rank stays down, as before.
+	MaxActorRestarts int
+	// ActorRestartBackoff is the initial respawn delay, doubling per
+	// restart of the same rank (default 250ms when zero).
+	ActorRestartBackoff time.Duration
+	// DrainTimeout bounds how long drain waits for a spawned fleet
+	// after the last push heartbeat before killing the stragglers, so
+	// a wedged actor cannot hang the round forever. Zero waits
+	// indefinitely (the pre-supervision behavior).
+	DrainTimeout time.Duration
 	// EnvFactory builds one environment per actor (distinct seeds).
 	EnvFactory func(actorID int) (*env.Env, error)
 	// AgentConfig templates the learner and actor networks; state
@@ -154,6 +184,10 @@ func DefaultTrainerConfig(totalSteps int) TrainerConfig {
 		VersionEvery:  8,
 		SnapshotEvery: snap,
 		BaseSigma:     0.3,
+		// Supervision default: a crashed actor rank gets two respawns
+		// before the round is declared failed.
+		MaxActorRestarts:    2,
+		ActorRestartBackoff: 250 * time.Millisecond,
 	}
 }
 
@@ -168,6 +202,9 @@ type Trainer struct {
 	Snapshots   []Snapshot
 	steps       int
 	remoteStats map[int]ActorStats
+	// Checkpoint/resume state (checkpoint.go).
+	resumePath     string
+	resumedUpdates int
 }
 
 // NewTrainer wires the learner and actors.
@@ -209,7 +246,7 @@ func NewTrainer(cfg TrainerConfig) (*Trainer, error) {
 	if err != nil {
 		return nil, err
 	}
-	t := &Trainer{cfg: cfg, learner: learner}
+	t := &Trainer{cfg: cfg, learner: learner, resumedUpdates: -1}
 	if remote {
 		// Normalize a private copy of the spec so actor processes
 		// reconstruct networks and cadence that match this learner.
@@ -273,6 +310,9 @@ func (t *Trainer) RemoteActorStats() map[int]ActorStats { return t.remoteStats }
 // runRoundRobin interleaves actors single-threaded — deterministic,
 // which suits both tests and the figure harness.
 func (t *Trainer) runRoundRobin() error {
+	if err := t.applyResume(); err != nil {
+		return err
+	}
 	var last0 perfmodel.Result
 	var lastR0 float64
 	have0 := false

@@ -1,0 +1,163 @@
+package ddpg
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"greennfv/internal/rl/replay"
+)
+
+// fillReplay observes n random transitions so Learn has experience to
+// sample; the transitions are independent of the agent's own RNG so
+// the agent stream position is exercised only by Act/Learn.
+func fillReplay(a *Agent, cfg Config, n int, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		s := make([]float64, cfg.StateDim)
+		ns := make([]float64, cfg.StateDim)
+		act := make([]float64, cfg.ActionDim)
+		for j := range s {
+			s[j] = rng.NormFloat64()
+			ns[j] = rng.NormFloat64()
+		}
+		for j := range act {
+			act[j] = 2*rng.Float64() - 1
+		}
+		a.Observe(replay.Transition{State: s, Action: act, Reward: rng.NormFloat64(), NextState: ns})
+	}
+}
+
+// runCheckpointRoundTrip drives an agent through warmup learning,
+// checkpoints it mid-run, restores into a fresh agent and asserts the
+// two futures are bit-identical: same ActorBytes immediately after
+// restore and after every further update, same losses, same
+// exploration actions (noise + RNG stream parity).
+func runCheckpointRoundTrip(t *testing.T, f32 bool) {
+	t.Helper()
+	cfg := DefaultConfig(6, 4)
+	cfg.BatchSize = 16
+	cfg.BufferCap = 256
+
+	orig, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig.SetFloat32(f32)
+	fillReplay(orig, cfg, 64, 71)
+	state := make([]float64, cfg.StateDim)
+	for i := 0; i < 9; i++ {
+		if _, err := orig.Act(state, true); err != nil {
+			t.Fatal(err)
+		}
+		if loss := orig.Learn(); math.IsNaN(loss) {
+			t.Fatalf("NaN loss at warmup step %d", i)
+		}
+	}
+
+	blob, err := orig.StateBytes(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantActor, err := orig.ActorBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	restored, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored.SetFloat32(f32)
+	if err := restored.LoadStateBytes(blob); err != nil {
+		t.Fatal(err)
+	}
+	gotActor, err := restored.ActorBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wantActor, gotActor) {
+		t.Fatal("restored ActorBytes differs from checkpoint")
+	}
+	if restored.LearnSteps() != orig.LearnSteps() {
+		t.Fatalf("learn steps: restored %d, want %d", restored.LearnSteps(), orig.LearnSteps())
+	}
+	if restored.BufferLen() != orig.BufferLen() {
+		t.Fatalf("buffer len: restored %d, want %d", restored.BufferLen(), orig.BufferLen())
+	}
+
+	// Both agents now walk the same future: exploration actions and
+	// updates must track bit-for-bit.
+	for i := 0; i < 6; i++ {
+		aOrig, err := orig.Act(state, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		aRest, err := restored.Act(state, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range aOrig {
+			if aOrig[j] != aRest[j] {
+				t.Fatalf("step %d: explore action diverged: %v vs %v", i, aOrig, aRest)
+			}
+		}
+		lOrig, lRest := orig.Learn(), restored.Learn()
+		if lOrig != lRest {
+			t.Fatalf("step %d: loss diverged: %v vs %v", i, lOrig, lRest)
+		}
+		wo, _ := orig.ActorBytes()
+		wr, _ := restored.ActorBytes()
+		if !bytes.Equal(wo, wr) {
+			t.Fatalf("step %d: actor weights diverged after update", i)
+		}
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T)    { runCheckpointRoundTrip(t, false) }
+func TestCheckpointRoundTripF32(t *testing.T) { runCheckpointRoundTrip(t, true) }
+
+// TestCheckpointConfigMismatch pins that a checkpoint cannot be
+// restored into an agent built from a different Config.
+func TestCheckpointConfigMismatch(t *testing.T) {
+	a, err := New(DefaultConfig(6, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := a.StateBytes(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := New(DefaultConfig(6, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := other.LoadStateBytes(blob); err == nil {
+		t.Fatal("restore into mismatched config succeeded, want error")
+	}
+}
+
+// TestCheckpointRejectsDirtyReplay pins that a replay-bearing
+// checkpoint refuses to restore over a buffer that already holds
+// experience (silently merging would corrupt the sampling tree).
+func TestCheckpointRejectsDirtyReplay(t *testing.T) {
+	cfg := DefaultConfig(6, 4)
+	a, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillReplay(a, cfg, 8, 3)
+	blob, err := a.StateBytes(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirty, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillReplay(dirty, cfg, 1, 4)
+	if err := dirty.LoadStateBytes(blob); err == nil {
+		t.Fatal("restore over non-empty replay succeeded, want error")
+	}
+}

@@ -133,11 +133,68 @@ func (o *OUNoise) Reset() {
 	}
 }
 
+// State copies the process state vector (for checkpoints).
+func (o *OUNoise) State() []float64 { return append([]float64(nil), o.state...) }
+
+// SetState restores a checkpointed process state vector.
+func (o *OUNoise) SetState(s []float64) error {
+	if len(s) != len(o.state) {
+		return errors.New("ddpg: OU noise state dimension mismatch")
+	}
+	copy(o.state, s)
+	return nil
+}
+
+// countedSource is a rand.Source64 that counts draws, so a checkpoint
+// can record the stream position and a restored agent can fast-forward
+// a freshly seeded source to the identical point. Wrapping changes
+// nothing about the stream itself: rand.Rand derives every value from
+// the source's Int63/Uint64 outputs, which pass through untouched —
+// the recorded deterministic figures depend on that.
+type countedSource struct {
+	src   rand.Source64
+	seed  int64
+	draws uint64
+}
+
+// newCountedSource seeds a counted source exactly like
+// rand.NewSource(seed).
+func newCountedSource(seed int64) *countedSource {
+	return &countedSource{src: rand.NewSource(seed).(rand.Source64), seed: seed}
+}
+
+func (c *countedSource) Int63() int64 {
+	c.draws++
+	return c.src.Int63()
+}
+
+func (c *countedSource) Uint64() uint64 {
+	c.draws++
+	return c.src.Uint64()
+}
+
+func (c *countedSource) Seed(seed int64) {
+	c.src.Seed(seed)
+	c.seed, c.draws = seed, 0
+}
+
+// skipTo re-seeds and discards draws until the stream sits at the
+// recorded position (each Int63/Uint64 advances the underlying
+// generator by exactly one step, so discarding via Uint64 is exact).
+func (c *countedSource) skipTo(draws uint64) {
+	c.src.Seed(c.seed)
+	for i := uint64(0); i < draws; i++ {
+		c.src.Uint64()
+	}
+	c.draws = draws
+}
+
 // Agent is one DDPG learner-actor pair with target networks and a
 // replay buffer.
 type Agent struct {
-	cfg Config
-	rng *rand.Rand
+	cfg    Config
+	rng    *rand.Rand
+	rngSrc *countedSource // rng's source, counted for checkpoint/restore
 
 	Actor        *nn.Network
 	Critic       *nn.Network
@@ -228,7 +285,8 @@ func New(cfg Config) (*Agent, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	src := newCountedSource(cfg.Seed)
+	rng := rand.New(src)
 	actorSizes := append([]int{cfg.StateDim}, cfg.Hidden...)
 	actorSizes = append(actorSizes, cfg.ActionDim)
 	criticSizes := append([]int{cfg.StateDim + cfg.ActionDim}, cfg.Hidden...)
@@ -245,6 +303,7 @@ func New(cfg Config) (*Agent, error) {
 	a := &Agent{
 		cfg:          cfg,
 		rng:          rng,
+		rngSrc:       src,
 		Actor:        actor,
 		Critic:       critic,
 		actorTarget:  actor.Clone(),

@@ -83,4 +83,26 @@
 // All batched-acting entry points are zero-allocation in steady state
 // (TestActBatchNoAllocs); scratch grows monotonically to the largest
 // batch seen.
+//
+// # Serialization contract
+//
+// SaveState/LoadState (checkpoint.go) serialize the COMPLETE training
+// state, not just the policy: all four networks, both Adam moment
+// sets (f64 and, when the f32 paths ran, their f32 twins), the OU
+// noise process, the exploration-RNG stream position, the learn-step
+// counter and optionally the replay contents. The restore contract is
+// bit-exactness: an agent restored from a snapshot produces the same
+// actions, losses and parameter bytes on every subsequent step as the
+// original would have — pinned per precision mode by
+// TestCheckpointRoundTrip/F32. Two consequences shape the API: the
+// target Config must match the snapshot exactly (strict equality, no
+// silent topology adaption), and LoadState requires an EMPTY replay
+// of matching capacity when the snapshot carries one (restoring over
+// live experience would splice two histories). The RNG stream
+// restores by draw count — the counting source re-seeds and
+// fast-forwards — so snapshots stay valid across Go versions only as
+// far as math/rand's generator is stable, which is the same
+// assumption seeded training already makes. ActorBytes remains the
+// separate, policy-only format for broadcasts and deployment; the
+// two formats are unrelated on the wire.
 package ddpg
