@@ -1,4 +1,4 @@
-// apexactor is one Ape-X actor process of the multi-process training
+// Command apexactor is one Ape-X actor process of the multi-process training
 // mode: it rebuilds the training environment and a local policy-network
 // copy from a JSON ActorSpec, connects to the central learner over
 // net/rpc, and runs the act/push/pull loop until its step budget is

@@ -28,6 +28,7 @@ import (
 	"greennfv/internal/env"
 	"greennfv/internal/perfmodel"
 	"greennfv/internal/rl/apex"
+	"greennfv/internal/rl/ddpg"
 	"greennfv/internal/sla"
 )
 
@@ -302,6 +303,49 @@ func (p *Policy) Save(w io.Writer) error {
 		return errors.New("greennfv: nil policy")
 	}
 	return p.ctl.SaveActor(w)
+}
+
+// SaveCheckpoint writes the policy's full agent state to w — the
+// serving-plane checkpoint format that cmd/greennfvd serves and
+// System.LoadPolicyCheckpoint reloads. Unlike Save (actor network
+// only), the checkpoint embeds the agent configuration, so loaders
+// validate dimensions instead of assuming them.
+func (p *Policy) SaveCheckpoint(w io.Writer) error {
+	if p == nil || p.ctl == nil {
+		return errors.New("greennfv: nil policy")
+	}
+	return p.ctl.SavePolicyState(w)
+}
+
+// LoadPolicyCheckpoint reads a full policy checkpoint written by
+// Policy.SaveCheckpoint, validates its dimensions against the
+// system's chain, and binds it to the SLA — the serve-only path:
+// train once, deploy the checkpoint many times without the training
+// driver.
+func (s *System) LoadPolicyCheckpoint(agreement SLA, r io.Reader) (*Policy, error) {
+	probe, err := s.factory(agreement.spec)(s.cfg.Seed, perfmodel.EvalOptions{})
+	if err != nil {
+		return nil, err
+	}
+	agent, err := ddpg.LoadAgent(r)
+	if err != nil {
+		return nil, err
+	}
+	if cfg := agent.Config(); cfg.StateDim != probe.StateDim() || cfg.ActionDim != probe.ActionDim() {
+		return nil, fmt.Errorf("greennfv: checkpoint dims %dx%d do not match chain %dx%d",
+			cfg.StateDim, cfg.ActionDim, probe.StateDim(), probe.ActionDim())
+	}
+	ctl := control.NewGreenNFVFromAgent(agreement.spec, agent)
+	ctl.Seed = s.cfg.Seed
+	return &Policy{slaSpec: agreement.spec, ctl: ctl}, nil
+}
+
+// WriteNodeSpec serializes the node environment contract (chain,
+// workload, SLA, seed) as one line of JSON — the spec file
+// cmd/greennfvd and cmd/greennfv-agent share so controller and fleet
+// agree on the environment a policy was trained for.
+func (s *System) WriteNodeSpec(agreement SLA, w io.Writer) error {
+	return s.actorSpec(agreement.spec).Encode(w)
 }
 
 // LoadPolicy reads a policy checkpoint saved by Policy.Save, binding

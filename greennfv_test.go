@@ -199,3 +199,61 @@ func TestTrainCheckpointResume(t *testing.T) {
 		t.Error("missing resume checkpoint accepted")
 	}
 }
+
+func TestPolicyCheckpointServeOnly(t *testing.T) {
+	sys, err := NewSystem(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	policy, err := sys.Train(EfficiencySLA(), TrainOptions{Steps: 250, Actors: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := policy.SaveCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	blob := buf.Bytes()
+
+	// Serve-only reload reproduces the trained policy's measurement.
+	loaded, err := sys.LoadPolicyCheckpoint(EfficiencySLA(), bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, err := sys.Measure(policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := sys.Measure(loaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.ThroughputGbps != m2.ThroughputGbps || m1.EnergyJ != m2.EnergyJ {
+		t.Errorf("checkpoint-loaded policy differs: %+v vs %+v", m1, m2)
+	}
+
+	// Corrupt checkpoints are rejected.
+	if _, err := sys.LoadPolicyCheckpoint(EfficiencySLA(), strings.NewReader("garbage")); err == nil {
+		t.Error("garbage checkpoint accepted")
+	}
+	// A checkpoint trained for another chain (different dimensions) is
+	// rejected instead of mis-deployed.
+	lightCfg := DefaultConfig()
+	lightCfg.Chain = LightChain
+	lightSys, err := NewSystem(lightCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lightSys.LoadPolicyCheckpoint(EfficiencySLA(), bytes.NewReader(blob)); err == nil {
+		t.Error("dimension-mismatched checkpoint accepted")
+	}
+
+	// The node spec round-trips and rebuilds a matching environment.
+	var spec bytes.Buffer
+	if err := sys.WriteNodeSpec(EfficiencySLA(), &spec); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(spec.String(), "\"env_seed\"") {
+		t.Errorf("node spec JSON missing fields: %s", spec.String())
+	}
+}

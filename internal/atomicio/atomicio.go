@@ -1,0 +1,123 @@
+package atomicio
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+// MagicLen is the required magic length: 8 bytes, by convention an
+// ASCII tag ending in a format version digit (e.g. "GNFVCKP1").
+const MagicLen = 8
+
+// headerLen is magic + uint64 payload length + uint32 CRC.
+const headerLen = MagicLen + 8 + 4
+
+// tempPattern returns the os.CreateTemp pattern for a destination
+// base name. The dot prefix keeps in-flight temps out of globs and
+// directory listings; the base name ties a leftover temp to the file
+// whose writer crashed, which is what lets Sweep target only its own.
+func tempPattern(base string) string { return "." + base + ".tmp-*" }
+
+// WriteFile atomically writes payload to path under the given magic:
+// temp file in the same directory, fsync, rename, best-effort
+// directory sync. On error the temp file is removed; path is either
+// untouched or fully replaced, never torn.
+func WriteFile(path, magic string, payload []byte) error {
+	if len(magic) != MagicLen {
+		return fmt.Errorf("atomicio: magic %q must be %d bytes", magic, MagicLen)
+	}
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, tempPattern(filepath.Base(path)))
+	if err != nil {
+		return fmt.Errorf("atomicio: temp file: %w", err)
+	}
+	tmp := f.Name()
+	cleanup := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	var header [headerLen]byte
+	copy(header[:MagicLen], magic)
+	binary.BigEndian.PutUint64(header[MagicLen:MagicLen+8], uint64(len(payload)))
+	binary.BigEndian.PutUint32(header[MagicLen+8:], crc32.ChecksumIEEE(payload))
+	if _, err := f.Write(header[:]); err != nil {
+		return cleanup(fmt.Errorf("atomicio: write: %w", err))
+	}
+	if _, err := f.Write(payload); err != nil {
+		return cleanup(fmt.Errorf("atomicio: write: %w", err))
+	}
+	if err := f.Sync(); err != nil {
+		return cleanup(fmt.Errorf("atomicio: sync: %w", err))
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("atomicio: close: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("atomicio: publish: %w", err)
+	}
+	// Persist the rename itself; best-effort (some filesystems refuse
+	// directory fsync).
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// ReadFile reads and validates a framed file: magic, length and CRC
+// must all match before the payload is returned.
+func ReadFile(path, magic string) ([]byte, error) {
+	if len(magic) != MagicLen {
+		return nil, fmt.Errorf("atomicio: magic %q must be %d bytes", magic, MagicLen)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("atomicio: read: %w", err)
+	}
+	if len(raw) < headerLen || string(raw[:MagicLen]) != magic {
+		return nil, errors.New("atomicio: bad magic")
+	}
+	n := binary.BigEndian.Uint64(raw[MagicLen : MagicLen+8])
+	if uint64(len(raw)-headerLen) != n {
+		return nil, fmt.Errorf("atomicio: truncated file: header says %d payload bytes, have %d",
+			n, len(raw)-headerLen)
+	}
+	payload := raw[headerLen:]
+	if got, want := crc32.ChecksumIEEE(payload), binary.BigEndian.Uint32(raw[MagicLen+8:headerLen]); got != want {
+		return nil, fmt.Errorf("atomicio: corrupt file: CRC %08x, want %08x", got, want)
+	}
+	return payload, nil
+}
+
+// Sweep removes stale temp files a crashed writer of path may have
+// left behind (a SIGKILL between CreateTemp and the rename). Call it
+// from the process that owns path, at startup, before the first
+// WriteFile — never while another writer of the same path may be
+// mid-write. Missing directory or no leftovers is not an error; the
+// count of removed files is returned.
+func Sweep(path string) (int, error) {
+	matches, err := filepath.Glob(filepath.Join(filepath.Dir(path), tempPattern(filepath.Base(path))))
+	if err != nil {
+		return 0, fmt.Errorf("atomicio: sweep: %w", err)
+	}
+	removed := 0
+	for _, m := range matches {
+		if os.Remove(m) == nil {
+			removed++
+		}
+	}
+	return removed, nil
+}
+
+// StrayTemps lists leftover temp files for path without removing
+// them — the hook tests use to assert a suite leaves nothing behind.
+func StrayTemps(path string) ([]string, error) {
+	return filepath.Glob(filepath.Join(filepath.Dir(path), tempPattern(filepath.Base(path))))
+}

@@ -1,0 +1,33 @@
+// Package atomicio is the crash-safe file persistence shared by the
+// training checkpoints (internal/rl/apex) and the serving control
+// plane's controller state (internal/serve): framed, checksummed
+// payloads written atomically so a SIGKILL at any instant leaves
+// either the previous file or the new one, never a torn hybrid.
+//
+// # File format
+//
+// An 8-byte caller-chosen magic (which doubles as a format version),
+// the big-endian uint64 payload length, the IEEE CRC32 of the
+// payload, then the payload. ReadFile rejects a wrong magic, a length
+// that disagrees with the file size, and a CRC mismatch — the
+// torn-read case of a file copied off a dying machine — before the
+// caller ever decodes a byte.
+//
+// # Write protocol
+//
+// WriteFile creates a temp file next to the destination (same
+// directory, so the rename cannot cross filesystems), writes header
+// and payload, fsyncs, closes, renames over the destination, and
+// best-effort fsyncs the directory. A writer killed mid-write leaves
+// only a stale temp file; Sweep(path) removes such leftovers and is
+// called by the owning process on startup (single-writer-per-file is
+// the contract — two live writers sharing one path would sweep each
+// other's in-flight temps).
+//
+// # Concurrency and determinism
+//
+// Functions here are stateless and safe for concurrent use on
+// distinct paths. Output bytes are a pure function of (magic,
+// payload) plus the rename, so checkpoint files are byte-reproducible
+// for identical payloads.
+package atomicio

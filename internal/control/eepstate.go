@@ -56,8 +56,14 @@ func (p *EEPstate) Options() perfmodel.EvalOptions {
 func (p *EEPstate) Prepare(EnvFactory) error { return nil }
 
 // Step implements Controller: observe arrival rate, forecast with
-// DES, threshold into a P-state.
+// DES, threshold into a P-state — propose, then apply.
 func (p *EEPstate) Step(e *env.Env) (perfmodel.Result, error) {
+	return e.SetKnobs(p.Propose(e))
+}
+
+// Propose implements Proposer: it forecasts the next interval's load
+// and computes the P-state allocation without applying it.
+func (p *EEPstate) Propose(e *env.Env) []perfmodel.NFKnobs {
 	bounds := e.Bounds()
 	tr := e.LastTraffic()
 	p.des.Observe(tr.OfferedPPS)
@@ -87,7 +93,7 @@ func (p *EEPstate) Step(e *env.Env) (perfmodel.Result, error) {
 		k.FreqGHz = freq
 		ks[i] = bounds.Clamp(k)
 	}
-	return e.SetKnobs(ks)
+	return ks
 }
 
 // lineRatePPS mirrors traffic.LineRatePPS for 10 GbE without

@@ -161,6 +161,22 @@ func (g *GreenNFV) SaveActor(w io.Writer) error {
 	return err
 }
 
+// SavePolicyState writes the deployed policy's full agent state — the
+// ddpg checkpoint format the serving plane (internal/serve,
+// cmd/greennfvd) loads and validates, replay buffer excluded.
+func (g *GreenNFV) SavePolicyState(w io.Writer) error {
+	if g.agent == nil {
+		return errors.New("control: GreenNFV has no trained policy")
+	}
+	return g.agent.SaveState(w, false)
+}
+
+// NewGreenNFVFromAgent builds a deploy-only controller around an
+// already-loaded agent (no trainer, no further learning).
+func NewGreenNFVFromAgent(s sla.SLA, agent *ddpg.Agent) *GreenNFV {
+	return &GreenNFV{slaSpec: s, agent: agent}
+}
+
 // NewGreenNFVFromActor builds a deploy-only controller from a saved
 // actor checkpoint (no trainer, no further learning).
 func NewGreenNFVFromActor(s sla.SLA, stateDim, actionDim int, r io.Reader) (*GreenNFV, error) {

@@ -43,8 +43,15 @@ func (h *Heuristic) Options() perfmodel.EvalOptions {
 // Prepare implements Controller (no training phase).
 func (h *Heuristic) Prepare(EnvFactory) error { return nil }
 
-// Step implements Controller: Algorithm 1.
+// Step implements Controller: Algorithm 1 — propose, then apply.
 func (h *Heuristic) Step(e *env.Env) (perfmodel.Result, error) {
+	return e.SetKnobs(h.Propose(e))
+}
+
+// Propose implements Proposer: it computes the next allocation from
+// the env's last observation without applying it. The returned slice
+// is owned by the controller and valid until the next Propose.
+func (h *Heuristic) Propose(e *env.Env) []perfmodel.NFKnobs {
 	bounds := e.Bounds()
 	if !h.initialized {
 		// Lines 1–6: fixed initial allocation.
@@ -65,7 +72,7 @@ func (h *Heuristic) Step(e *env.Env) (perfmodel.Result, error) {
 			})
 		}
 		h.initialized = true
-		return e.SetKnobs(h.knobs)
+		return h.knobs
 	}
 
 	// Line 7–8: periodically check throughput and energy, compute λ.
@@ -88,7 +95,7 @@ func (h *Heuristic) Step(e *env.Env) (perfmodel.Result, error) {
 		}
 		h.knobs[i] = bounds.Clamp(h.knobs[i])
 	}
-	return e.SetKnobs(h.knobs)
+	return h.knobs
 }
 
 // stepFreq moves one 100 MHz ladder step within bounds.

@@ -12,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"greennfv/internal/atomicio"
 	"greennfv/internal/rl/ddpg"
 )
 
@@ -304,5 +305,23 @@ func TestChaosKillResume(t *testing.T) {
 	}
 	if st.Transitions == 0 {
 		t.Error("resumed trainer received no experience")
+	}
+
+	// Temp-file hygiene: the SIGKILL may have torn a checkpoint write,
+	// but phase 2's run sweeps leftovers at start and every completed
+	// write renames atomically — so the finished suite must leave no
+	// stray temps, only the files the test created on purpose.
+	if stray, err := atomicio.StrayTemps(ckpt); err != nil || len(stray) != 0 {
+		t.Errorf("stray checkpoint temps after suite: %v (err %v)", stray, err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{"trainer.ckpt": true, "crash.marker": true, "status.json": true, "resume.ckpt": true}
+	for _, e := range entries {
+		if !want[e.Name()] {
+			t.Errorf("unexpected file left in test dir: %s", e.Name())
+		}
 	}
 }

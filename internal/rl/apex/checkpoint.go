@@ -2,13 +2,12 @@ package apex
 
 import (
 	"bytes"
-	"encoding/binary"
 	"encoding/gob"
 	"errors"
 	"fmt"
-	"hash/crc32"
 	"os"
-	"path/filepath"
+
+	"greennfv/internal/atomicio"
 )
 
 // Trainer checkpointing: the learner's full training state — the
@@ -19,10 +18,12 @@ import (
 //
 // File format: an 8-byte magic ("GNFVCKP1"), the big-endian uint64
 // payload length, the IEEE CRC32 of the payload, then the
-// gob-encoded TrainerCheckpoint. Writes go to a temp file in the
-// destination directory, fsync, then rename, so a crash mid-write
-// leaves the previous checkpoint intact; the CRC rejects the
-// torn-read case of a checkpoint copied off a dying machine.
+// gob-encoded TrainerCheckpoint — the internal/atomicio framing,
+// which also does the temp+fsync+rename write so a crash mid-write
+// leaves the previous checkpoint intact and the CRC rejects the
+// torn-read case of a checkpoint copied off a dying machine. A
+// trainer that starts a run sweeps any temp file its crashed
+// predecessor left next to the checkpoint path.
 
 // checkpointMagic identifies (and versions) the checkpoint format.
 const checkpointMagic = "GNFVCKP1"
@@ -45,49 +46,14 @@ type TrainerCheckpoint struct {
 }
 
 // WriteCheckpoint atomically writes ck to path: temp file in the same
-// directory, fsync, rename.
+// directory, fsync, rename (atomicio.WriteFile).
 func WriteCheckpoint(path string, ck *TrainerCheckpoint) error {
 	var payload bytes.Buffer
 	if err := gob.NewEncoder(&payload).Encode(ck); err != nil {
 		return fmt.Errorf("apex: encode checkpoint: %w", err)
 	}
-	dir := filepath.Dir(path)
-	f, err := os.CreateTemp(dir, ".ckpt-*")
-	if err != nil {
-		return fmt.Errorf("apex: checkpoint temp file: %w", err)
-	}
-	tmp := f.Name()
-	cleanup := func(err error) error {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	var header [20]byte
-	copy(header[:8], checkpointMagic)
-	binary.BigEndian.PutUint64(header[8:16], uint64(payload.Len()))
-	binary.BigEndian.PutUint32(header[16:20], crc32.ChecksumIEEE(payload.Bytes()))
-	if _, err := f.Write(header[:]); err != nil {
-		return cleanup(fmt.Errorf("apex: write checkpoint: %w", err))
-	}
-	if _, err := f.Write(payload.Bytes()); err != nil {
-		return cleanup(fmt.Errorf("apex: write checkpoint: %w", err))
-	}
-	if err := f.Sync(); err != nil {
-		return cleanup(fmt.Errorf("apex: sync checkpoint: %w", err))
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("apex: close checkpoint: %w", err)
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("apex: publish checkpoint: %w", err)
-	}
-	// Persist the rename itself; best-effort (some filesystems refuse
-	// directory fsync).
-	if d, err := os.Open(dir); err == nil {
-		d.Sync()
-		d.Close()
+	if err := atomicio.WriteFile(path, checkpointMagic, payload.Bytes()); err != nil {
+		return fmt.Errorf("apex: checkpoint: %w", err)
 	}
 	return nil
 }
@@ -95,20 +61,9 @@ func WriteCheckpoint(path string, ck *TrainerCheckpoint) error {
 // ReadCheckpoint reads and validates a checkpoint file: magic, length
 // and CRC must all match before the payload is decoded.
 func ReadCheckpoint(path string) (*TrainerCheckpoint, error) {
-	raw, err := os.ReadFile(path)
+	payload, err := atomicio.ReadFile(path, checkpointMagic)
 	if err != nil {
-		return nil, fmt.Errorf("apex: read checkpoint: %w", err)
-	}
-	if len(raw) < 20 || string(raw[:8]) != checkpointMagic {
-		return nil, errors.New("apex: not a trainer checkpoint (bad magic)")
-	}
-	n := binary.BigEndian.Uint64(raw[8:16])
-	if uint64(len(raw)-20) != n {
-		return nil, fmt.Errorf("apex: truncated checkpoint: header says %d payload bytes, have %d", n, len(raw)-20)
-	}
-	payload := raw[20:]
-	if got, want := crc32.ChecksumIEEE(payload), binary.BigEndian.Uint32(raw[16:20]); got != want {
-		return nil, fmt.Errorf("apex: corrupt checkpoint: CRC %08x, want %08x", got, want)
+		return nil, fmt.Errorf("apex: checkpoint: %w", err)
 	}
 	var ck TrainerCheckpoint
 	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&ck); err != nil {

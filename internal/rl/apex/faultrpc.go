@@ -39,10 +39,17 @@ type FaultProxyStats struct {
 
 // FaultProxy is a TCP proxy in front of a learner Server that injects
 // faults per FaultRule. Zero-valued rules proxy transparently.
+//
+// Teardown contract: a connection is closed exactly once, by whoever
+// removes it from the tracking set — so Close (or Partition) racing a
+// finishing per-connection goroutine cannot double-close; and the
+// injected drop/delay sleeps are interruptible, so Close never waits
+// out a fault schedule to return.
 type FaultProxy struct {
 	target   string
 	listener net.Listener
 	wg       sync.WaitGroup
+	done     chan struct{} // closed by Close; interrupts fault sleeps
 
 	mu          sync.Mutex
 	rng         *rand.Rand
@@ -68,6 +75,7 @@ func NewFaultProxy(target string, seed int64) (*FaultProxy, error) {
 	p := &FaultProxy{
 		target:   target,
 		listener: ln,
+		done:     make(chan struct{}),
 		rng:      rand.New(rand.NewSource(seed)),
 		conns:    make(map[net.Conn]struct{}),
 	}
@@ -92,12 +100,25 @@ func (p *FaultProxy) SetRule(r FaultRule) {
 func (p *FaultProxy) Partition(on bool) {
 	p.mu.Lock()
 	p.partitioned = on
+	var victims []net.Conn
 	if on {
-		for c := range p.conns {
-			c.Close()
-		}
+		victims = p.takeConnsLocked()
 	}
 	p.mu.Unlock()
+	for _, c := range victims {
+		c.Close()
+	}
+}
+
+// takeConnsLocked empties the tracking set and hands ownership of the
+// connections (and their close) to the caller. Caller holds mu.
+func (p *FaultProxy) takeConnsLocked() []net.Conn {
+	victims := make([]net.Conn, 0, len(p.conns))
+	for c := range p.conns {
+		victims = append(victims, c)
+	}
+	p.conns = make(map[net.Conn]struct{})
+	return victims
 }
 
 // Stats returns the injected-fault counters.
@@ -110,7 +131,9 @@ func (p *FaultProxy) Stats() FaultProxyStats {
 	}
 }
 
-// Close stops the proxy and severs every connection.
+// Close stops the proxy and severs every connection. It interrupts
+// in-flight fault sleeps, so it returns promptly even under a long
+// Delay rule, and it is safe against dials landing mid-shutdown.
 func (p *FaultProxy) Close() error {
 	p.mu.Lock()
 	if p.closed {
@@ -118,10 +141,12 @@ func (p *FaultProxy) Close() error {
 		return nil
 	}
 	p.closed = true
-	for c := range p.conns {
+	close(p.done)
+	victims := p.takeConnsLocked()
+	p.mu.Unlock()
+	for _, c := range victims {
 		c.Close()
 	}
-	p.mu.Unlock()
 	err := p.listener.Close()
 	p.wg.Wait()
 	return err
@@ -160,27 +185,61 @@ func (p *FaultProxy) acceptLoop() {
 			if drop {
 				// Cut after a beat: long enough for the client to have
 				// committed a request onto the wire, short enough to
-				// fail it mid-call.
+				// fail it mid-call. The deferred forget does the close.
 				p.dropped.Add(1)
-				time.Sleep(time.Millisecond)
-				conn.Close()
+				p.pause(time.Millisecond)
 				return
 			}
 			if delay {
 				p.delayed.Add(1)
-				time.Sleep(rule.Delay)
+				if !p.pause(rule.Delay) {
+					return // proxy closing; forget tears the conn down
+				}
 			}
 			p.proxy(conn)
 		}()
 	}
 }
 
-// forget drops conn from the tracking set and closes it.
+// pause sleeps for d unless the proxy closes first, reporting whether
+// the full pause elapsed — so Close is never blocked behind an
+// injected fault delay.
+func (p *FaultProxy) pause(d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-p.done:
+		return false
+	}
+}
+
+// track registers conn for teardown. It reports false — without
+// registering — when the proxy is closed or partitioned; the caller
+// then owns closing conn.
+func (p *FaultProxy) track(conn net.Conn) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed || p.partitioned {
+		return false
+	}
+	p.conns[conn] = struct{}{}
+	return true
+}
+
+// forget removes conn from the tracking set and, if it was still
+// tracked, closes it. Removal transfers close ownership: if Close or
+// Partition already took the connection, they closed it, and forget
+// must not close it again.
 func (p *FaultProxy) forget(conn net.Conn) {
 	p.mu.Lock()
+	_, mine := p.conns[conn]
 	delete(p.conns, conn)
 	p.mu.Unlock()
-	conn.Close()
+	if mine {
+		conn.Close()
+	}
 }
 
 // proxy shuttles bytes both ways until either side closes.
@@ -189,25 +248,25 @@ func (p *FaultProxy) proxy(client net.Conn) {
 	if err != nil {
 		return // learner down: client sees the severed connection
 	}
-	p.mu.Lock()
-	if p.closed || p.partitioned {
-		p.mu.Unlock()
+	if !p.track(upstream) {
 		upstream.Close()
 		return
 	}
-	p.conns[upstream] = struct{}{}
-	p.mu.Unlock()
 	defer p.forget(upstream)
 
-	done := make(chan struct{}, 2)
+	// Either direction finishing severs both conns via forget (which
+	// is exactly-once), unblocking the other copy. The copy goroutine
+	// is joined before proxy returns, so Close's wg.Wait observes it
+	// transitively.
+	done := make(chan struct{})
 	go func() {
 		io.Copy(upstream, client)
-		upstream.Close()
-		client.Close()
-		done <- struct{}{}
+		p.forget(upstream)
+		p.forget(client)
+		close(done)
 	}()
 	io.Copy(client, upstream)
-	upstream.Close()
-	client.Close()
+	p.forget(upstream)
+	p.forget(client)
 	<-done
 }

@@ -1,6 +1,8 @@
 package apex
 
 import (
+	"net"
+	"sync"
 	"testing"
 	"time"
 )
@@ -125,5 +127,56 @@ func TestFaultProxyPartition(t *testing.T) {
 	}
 	if _, transitions := learner.Stats(); transitions != 2 {
 		t.Errorf("learner got %d transitions, want 2", transitions)
+	}
+}
+
+// TestFaultProxyCloseUnderChurn hammers the proxy with concurrent
+// dials — under a rule that parks every connection in a drop or delay
+// sleep — while Close runs. The race detector covers close ordering
+// (no double-close, no copy goroutine racing forget); the test itself
+// pins that Close returns promptly instead of waiting out the
+// injected delay, and that a dial landing mid-shutdown cannot wedge
+// the proxy or leak a goroutine past wg.Wait.
+func TestFaultProxyCloseUnderChurn(t *testing.T) {
+	_, _, proxy := proxyFixture(t, 5)
+	proxy.SetRule(FaultRule{DropProb: 0.3, DelayProb: 0.7, Delay: 5 * time.Second})
+	addr := proxy.Addr()
+
+	var dialers sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		dialers.Add(1)
+		go func() {
+			defer dialers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				conn, err := net.Dial("tcp", addr)
+				if err != nil {
+					return // listener closed: shutdown reached us
+				}
+				conn.Write([]byte("x"))
+				conn.Close()
+			}
+		}()
+	}
+	// Let connections pile up inside the fault sleeps.
+	time.Sleep(10 * time.Millisecond)
+
+	start := time.Now()
+	if err := proxy.Close(); err != nil {
+		t.Fatalf("close under churn: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("Close took %v — blocked behind the injected 5s delay", elapsed)
+	}
+	close(stop)
+	dialers.Wait()
+
+	if err := proxy.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
 	}
 }

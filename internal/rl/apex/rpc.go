@@ -3,12 +3,11 @@ package apex
 import (
 	"errors"
 	"fmt"
-	"net"
-	"net/rpc"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"greennfv/internal/rpcutil"
 )
 
 // The RPC transport lets actors run in separate processes or on
@@ -52,39 +51,18 @@ var (
 	ErrStaleActorEpoch = errors.New("apex: stale actor epoch")
 )
 
-// matchesRPCError reports whether err is target, either directly
-// (in-process) or as the rpc.ServerError net/rpc delivers to remote
-// callers (matched by message prefix).
-func matchesRPCError(err, target error) bool {
-	if errors.Is(err, target) {
-		return true
-	}
-	var se rpc.ServerError
-	if errors.As(err, &se) {
-		return strings.HasPrefix(string(se), target.Error())
-	}
-	return false
-}
-
 // IsUnregisteredActor reports whether err is an ErrUnregisteredActor
 // rejection, locally or over RPC.
-func IsUnregisteredActor(err error) bool { return matchesRPCError(err, ErrUnregisteredActor) }
+func IsUnregisteredActor(err error) bool { return rpcutil.Matches(err, ErrUnregisteredActor) }
 
 // IsStaleActorEpoch reports whether err is an ErrStaleActorEpoch
 // rejection, locally or over RPC.
-func IsStaleActorEpoch(err error) bool { return matchesRPCError(err, ErrStaleActorEpoch) }
+func IsStaleActorEpoch(err error) bool { return rpcutil.Matches(err, ErrStaleActorEpoch) }
 
 // DeadlineError is the retryable failure of an RPC call that exceeded
-// its deadline; the underlying connection has been torn down.
-type DeadlineError struct {
-	Method  string
-	Timeout time.Duration
-}
-
-// Error implements error.
-func (e *DeadlineError) Error() string {
-	return fmt.Sprintf("apex: %s exceeded %v deadline", e.Method, e.Timeout)
-}
+// its deadline; the underlying connection has been torn down. It is
+// the shared rpcutil.DeadlineError.
+type DeadlineError = rpcutil.DeadlineError
 
 // PushArgs is the RPC request for experience submission.
 type PushArgs struct {
@@ -316,19 +294,13 @@ func (s *LearnerService) FleetIdle(window time.Duration) bool {
 	return true
 }
 
-// Server hosts a Learner over TCP. It tracks its open connections so
-// Close can tear them down: an rpc.ServeConn handler otherwise blocks
-// reading the next request until its *client* hangs up, which would
-// make Close wait on actors that never disconnect.
+// Server hosts a Learner over TCP via a rpcutil.Server, which tracks
+// its open connections so Close can tear them down instead of waiting
+// for every actor to hang up.
 type Server struct {
-	learner  *Learner
-	service  *LearnerService
-	listener net.Listener
-	rpcSrv   *rpc.Server
-	wg       sync.WaitGroup
-	mu       sync.Mutex
-	conns    map[net.Conn]struct{}
-	closed   bool
+	learner *Learner
+	service *LearnerService
+	srv     *rpcutil.Server
 }
 
 // Serve starts an RPC server for the learner on addr (e.g.
@@ -338,50 +310,16 @@ func Serve(learner *Learner, addr string) (*Server, error) {
 	if learner == nil {
 		return nil, errors.New("apex: nil learner")
 	}
-	srv := rpc.NewServer()
 	service := NewLearnerService(learner)
-	if err := srv.RegisterName("Learner", service); err != nil {
-		return nil, err
-	}
-	ln, err := net.Listen("tcp", addr)
+	srv, err := rpcutil.Serve("Learner", service, addr)
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{
-		learner: learner, service: service, listener: ln, rpcSrv: srv,
-		conns: make(map[net.Conn]struct{}),
-	}
-	s.wg.Add(1)
-	go func() {
-		defer s.wg.Done()
-		for {
-			conn, err := ln.Accept()
-			if err != nil {
-				return // listener closed
-			}
-			s.mu.Lock()
-			if s.closed {
-				s.mu.Unlock()
-				conn.Close()
-				return
-			}
-			s.conns[conn] = struct{}{}
-			s.mu.Unlock()
-			s.wg.Add(1)
-			go func() {
-				defer s.wg.Done()
-				srv.ServeConn(conn)
-				s.mu.Lock()
-				delete(s.conns, conn)
-				s.mu.Unlock()
-			}()
-		}
-	}()
-	return s, nil
+	return &Server{learner: learner, service: service, srv: srv}, nil
 }
 
 // Addr reports the listening address.
-func (s *Server) Addr() string { return s.listener.Addr().String() }
+func (s *Server) Addr() string { return s.srv.Addr() }
 
 // Service exposes the RPC service for lifecycle control (drain,
 // per-actor stats).
@@ -391,35 +329,16 @@ func (s *Server) Service() *LearnerService { return s.service }
 // clients, and waits for in-flight handlers. Actors surviving the
 // learner see transport errors (and, if they use RemoteLearner,
 // retry until the learner returns or their backoff budget runs out).
-func (s *Server) Close() error {
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		return nil
-	}
-	s.closed = true
-	for conn := range s.conns {
-		conn.Close()
-	}
-	s.mu.Unlock()
-	err := s.listener.Close()
-	s.wg.Wait()
-	return err
-}
+func (s *Server) Close() error { return s.srv.Close() }
 
 // Client is a LearnerAPI backed by a single TCP connection to a
-// Server; once the connection drops its calls fail permanently. Actor
+// Server (an embedded rpcutil.Conn, whose Timeout field bounds each
+// call); once the connection drops its calls fail permanently. Actor
 // processes use RemoteLearner, which wraps the same calls with
 // redial-and-retry. Push and Pull require a prior RegisterAs — the
 // server rejects anonymous callers.
 type Client struct {
-	rc   *rpc.Client
-	conn net.Conn
-	// Timeout bounds each RPC round-trip; on expiry the call fails
-	// with a *DeadlineError and the connection is torn down (net/rpc
-	// cannot abandon a single in-flight call). Zero disables the
-	// deadline. Set before issuing calls.
-	Timeout time.Duration
+	*rpcutil.Conn
 
 	mu      sync.Mutex
 	actorID int
@@ -429,31 +348,16 @@ type Client struct {
 // Dial connects to a learner server. The client starts with the
 // DefaultCallTimeout per-call deadline.
 func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+	conn, err := rpcutil.Dial(addr, DefaultCallTimeout)
 	if err != nil {
-		return nil, fmt.Errorf("apex: dial %s: %w", addr, err)
+		return nil, fmt.Errorf("apex: %w", err)
 	}
-	return &Client{rc: rpc.NewClient(conn), conn: conn, Timeout: DefaultCallTimeout}, nil
+	return &Client{Conn: conn}, nil
 }
 
-// call invokes one RPC with the per-call deadline. A timed-out call
-// closes the connection — tearing down every call pending on it — and
-// returns a retryable *DeadlineError.
+// call invokes one RPC with the per-call deadline (rpcutil.Conn.Call).
 func (c *Client) call(method string, args, reply any) error {
-	if c.Timeout <= 0 {
-		return c.rc.Call(method, args, reply)
-	}
-	call := c.rc.Go(method, args, reply, make(chan *rpc.Call, 1))
-	timer := time.NewTimer(c.Timeout)
-	defer timer.Stop()
-	select {
-	case <-call.Done:
-		return call.Error
-	case <-timer.C:
-		c.conn.Close()
-		<-call.Done // client errors out all pending calls on teardown
-		return &DeadlineError{Method: method, Timeout: c.Timeout}
-	}
+	return c.Conn.Call(method, args, reply)
 }
 
 // RegisterAs announces the client as the given actor, stores the
@@ -499,9 +403,6 @@ func (c *Client) PullParams(haveVersion int) (int, []byte, error) {
 // inside the synchronous Call, so nothing references the caller's
 // slices once PushExperience returns.
 func (c *Client) RetainsExperience() bool { return false }
-
-// Close releases the connection.
-func (c *Client) Close() error { return c.rc.Close() }
 
 var _ LearnerAPI = (*Client)(nil)
 var _ LearnerAPI = (*Learner)(nil)

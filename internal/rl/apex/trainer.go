@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"greennfv/internal/atomicio"
 	"greennfv/internal/env"
 	"greennfv/internal/perfmodel"
 	"greennfv/internal/rl/ddpg"
@@ -294,6 +295,14 @@ func (t *Trainer) Actors() []*Actor { return t.actors }
 // in-process (cfg.Parallel), or multi-process over net/rpc
 // (cfg.RemoteActors).
 func (t *Trainer) Run() error {
+	if t.cfg.CheckpointPath != "" {
+		// A previous run killed mid-write may have left checkpoint temp
+		// files behind; the atomic rename protocol makes them garbage by
+		// construction, so clear them before producing new ones.
+		if _, err := atomicio.Sweep(t.cfg.CheckpointPath); err != nil {
+			return fmt.Errorf("apex: sweep checkpoint temps: %w", err)
+		}
+	}
 	if t.cfg.RemoteActors > 0 {
 		return t.runRemote()
 	}

@@ -136,6 +136,13 @@ func (a *Agent) LoadState(r io.Reader) error {
 	if !reflect.DeepEqual(st.Cfg, a.cfg) {
 		return fmt.Errorf("ddpg: checkpoint config %+v does not match agent config %+v", st.Cfg, a.cfg)
 	}
+	return a.applyState(&st, true)
+}
+
+// applyState restores a decoded checkpoint into a, whose Config
+// already matches st.Cfg. withReplay controls whether a carried
+// replay snapshot is restored (inference-only consumers skip it).
+func (a *Agent) applyState(st *agentState, withReplay bool) error {
 	if err := loadNetwork(a.Actor, st.Actor, "actor"); err != nil {
 		return err
 	}
@@ -161,6 +168,7 @@ func (a *Agent) LoadState(r io.Reader) error {
 	a.rngSrc.skipTo(st.RNGDraws)
 	a.learnSteps = st.LearnSteps
 	switch {
+	case !withReplay:
 	case st.Replay != nil:
 		buf, ok := a.prioritized.(*replay.Prioritized)
 		if !ok {
@@ -192,4 +200,31 @@ func (a *Agent) LoadState(r io.Reader) error {
 // LoadStateBytes is LoadState from a byte slice.
 func (a *Agent) LoadStateBytes(data []byte) error {
 	return a.LoadState(bytes.NewReader(data))
+}
+
+// LoadAgent builds a fresh agent from a SaveState checkpoint alone:
+// the embedded Config constructs the agent, then everything except
+// replay contents is restored. This is the serving-plane entry point —
+// a controller daemon handed a checkpoint file knows nothing about
+// the configuration that trained it, and inference never touches the
+// replay buffer, so a carried replay snapshot is skipped rather than
+// required to fit.
+func LoadAgent(r io.Reader) (*Agent, error) {
+	var st agentState
+	if err := gob.NewDecoder(r).Decode(&st); err != nil {
+		return nil, fmt.Errorf("ddpg: decode checkpoint: %w", err)
+	}
+	a, err := New(st.Cfg)
+	if err != nil {
+		return nil, fmt.Errorf("ddpg: checkpoint config: %w", err)
+	}
+	if err := a.applyState(&st, false); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// LoadAgentBytes is LoadAgent from a byte slice.
+func LoadAgentBytes(data []byte) (*Agent, error) {
+	return LoadAgent(bytes.NewReader(data))
 }

@@ -161,3 +161,65 @@ func TestCheckpointRejectsDirtyReplay(t *testing.T) {
 		t.Fatal("restore over non-empty replay succeeded, want error")
 	}
 }
+
+// TestLoadAgentFromCheckpointAlone pins the serving-plane entry
+// point: LoadAgent reconstructs an agent from the blob alone (the
+// embedded Config builds it), skips the replay snapshot instead of
+// requiring a matching buffer, and deploys the same policy — greedy
+// actions identical to the saved agent's.
+func TestLoadAgentFromCheckpointAlone(t *testing.T) {
+	cfg := DefaultConfig(6, 4)
+	cfg.BatchSize = 16
+	cfg.BufferCap = 256
+	orig, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillReplay(orig, cfg, 64, 71)
+	state := make([]float64, cfg.StateDim)
+	for i := 0; i < 5; i++ {
+		if _, err := orig.Act(state, true); err != nil {
+			t.Fatal(err)
+		}
+		orig.Learn()
+	}
+	// Replay included on purpose: LoadAgent must skip it, not demand a
+	// buffer that fits it.
+	blob, err := orig.StateBytes(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	served, err := LoadAgentBytes(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if served.LearnSteps() != orig.LearnSteps() {
+		t.Errorf("learn steps: served %d, want %d", served.LearnSteps(), orig.LearnSteps())
+	}
+	if served.BufferLen() != 0 {
+		t.Errorf("served agent restored %d replay transitions, want 0", served.BufferLen())
+	}
+	for trial := 0; trial < 3; trial++ {
+		for j := range state {
+			state[j] = 0.01 * float64(trial*10+j)
+		}
+		want, err := orig.Act(state, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := served.Act(state, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range want {
+			if want[j] != got[j] {
+				t.Fatalf("trial %d: greedy action diverged: %v vs %v", trial, got, want)
+			}
+		}
+	}
+
+	if _, err := LoadAgentBytes(blob[:len(blob)/2]); err == nil {
+		t.Error("LoadAgent accepted a truncated checkpoint")
+	}
+}

@@ -1,0 +1,199 @@
+package replay
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestSnapshotRoundTripAtEvictionBoundary drives the ring past
+// capacity so eviction has wrapped the cursor, then checks the
+// snapshot restores the sum-tree leaves bit-exactly: same stored
+// data, same leaf priorities (no recomputed math.Pow), and an
+// identical sampling stream from an identical RNG.
+func TestSnapshotRoundTripAtEvictionBoundary(t *testing.T) {
+	const capacity = 8
+	src, err := NewPrioritized(capacity, 0.6, 0.4, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 13 adds into 8 slots: 5 evictions, cursor mid-ring.
+	for i := 0; i < 13; i++ {
+		src.AddWithPriority(tr(float64(i)), 0.25+float64(i))
+	}
+	if src.Len() != capacity || src.next != 13%capacity {
+		t.Fatalf("fixture not at eviction boundary: len %d next %d", src.Len(), src.next)
+	}
+
+	st := src.State()
+	dst, err := NewPrioritized(capacity, 0.6, 0.4, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.SetState(st); err != nil {
+		t.Fatal(err)
+	}
+	if dst.count != src.count || dst.next != src.next || dst.maxPrior != src.maxPrior || dst.beta != src.beta {
+		t.Fatalf("restored cursor state differs: %d/%d/%v vs %d/%d/%v",
+			dst.count, dst.next, dst.maxPrior, src.count, src.next, src.maxPrior)
+	}
+	for i := 0; i < capacity; i++ {
+		if got, want := dst.tree.get(i), src.tree.get(i); got != want {
+			t.Errorf("leaf %d: restored priority %v, want %v", i, got, want)
+		}
+		if dst.data[i].Reward != src.data[i].Reward {
+			t.Errorf("slot %d: restored reward %v, want %v", i, dst.data[i].Reward, src.data[i].Reward)
+		}
+	}
+	if dst.tree.total() != src.tree.total() {
+		t.Errorf("tree total %v, want %v", dst.tree.total(), src.tree.total())
+	}
+
+	// Identical RNG streams must sample identical indices and weights.
+	r1, r2 := rand.New(rand.NewSource(9)), rand.New(rand.NewSource(9))
+	_, idx1, w1 := src.Sample(r1, 32)
+	_, idx2, w2 := dst.Sample(r2, 32)
+	for i := range idx1 {
+		if idx1[i] != idx2[i] || w1[i] != w2[i] {
+			t.Fatalf("sample %d diverged: (%d, %v) vs (%d, %v)", i, idx1[i], w1[i], idx2[i], w2[i])
+		}
+	}
+
+	// The restored ring keeps evicting where the original would.
+	wantNext := (src.next + 1) % capacity
+	dst.Add(tr(99))
+	if dst.next != wantNext {
+		t.Errorf("post-restore eviction cursor %d, want %d", dst.next, wantNext)
+	}
+}
+
+// TestSnapshotRestorePartialBuffer pins the restore preconditions: a
+// target that already holds experience is refused, whatever its fill
+// level, and the refused target is left untouched.
+func TestSnapshotRestorePartialBuffer(t *testing.T) {
+	src, _ := NewPrioritized(8, 0.6, 0.4, 0)
+	for i := 0; i < 3; i++ {
+		src.Add(tr(float64(i)))
+	}
+	st := src.State()
+	if len(st.Data) != 3 || len(st.Leaves) != 3 {
+		t.Fatalf("partial snapshot sized %d/%d, want 3/3", len(st.Data), len(st.Leaves))
+	}
+
+	// A partially-filled snapshot restores into an empty buffer.
+	empty, _ := NewPrioritized(8, 0.6, 0.4, 0)
+	if err := empty.SetState(st); err != nil {
+		t.Fatalf("partial snapshot rejected by empty buffer: %v", err)
+	}
+	if empty.Len() != 3 || empty.next != 3 {
+		t.Errorf("restored partial fill %d/next %d, want 3/3", empty.Len(), empty.next)
+	}
+
+	// Any pre-existing experience refuses the restore.
+	dirty, _ := NewPrioritized(8, 0.6, 0.4, 0)
+	dirty.Add(tr(42))
+	if err := dirty.SetState(st); err == nil {
+		t.Fatal("restore into non-empty buffer accepted")
+	}
+	if dirty.Len() != 1 || dirty.data[0].Reward != 42 {
+		t.Error("refused restore mutated the target")
+	}
+}
+
+// TestSnapshotCapacityMismatch pins the fit checks: snapshots from a
+// larger buffer, torn Data/Leaves pairs, and corrupt leaf priorities
+// are all refused.
+func TestSnapshotCapacityMismatch(t *testing.T) {
+	big, _ := NewPrioritized(16, 0.6, 0.4, 0)
+	for i := 0; i < 12; i++ {
+		big.Add(tr(float64(i)))
+	}
+	small, _ := NewPrioritized(8, 0.6, 0.4, 0)
+	if err := small.SetState(big.State()); err == nil {
+		t.Fatal("oversized snapshot accepted")
+	}
+
+	// A wrapped cursor beyond the target capacity is refused even when
+	// the payload itself would fit.
+	st := big.State()
+	st.Data, st.Leaves, st.Count = st.Data[:4], st.Leaves[:4], 4
+	st.Next = 12
+	if err := small.SetState(st); err == nil {
+		t.Fatal("out-of-range cursor accepted")
+	}
+
+	// Torn snapshots (Data/Leaves disagreeing with Count) are refused.
+	torn := big.State()
+	torn.Leaves = torn.Leaves[:len(torn.Leaves)-1]
+	fresh, _ := NewPrioritized(16, 0.6, 0.4, 0)
+	if err := fresh.SetState(torn); err == nil {
+		t.Fatal("torn snapshot accepted")
+	}
+
+	// Corrupt leaves: NaN or negative priorities are refused.
+	for _, bad := range []float64{math.NaN(), -1} {
+		corrupt := big.State()
+		corrupt.Leaves[2] = bad
+		target, _ := NewPrioritized(16, 0.6, 0.4, 0)
+		if err := target.SetState(corrupt); err == nil {
+			t.Fatalf("corrupt leaf %v accepted", bad)
+		}
+	}
+}
+
+// TestShardedSnapshotRoundTrip covers the sharded analogue: contents
+// and leaf priorities restore exactly per shard, restore refuses a
+// shard-count mismatch and a non-empty target.
+func TestShardedSnapshotRoundTrip(t *testing.T) {
+	src, err := NewSharded(16, 4, 0.6, 0.4, 1e-3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Overfill so at least one shard ring wraps.
+	for i := 0; i < 23; i++ {
+		src.AddWithPriority(tr(float64(i)), 0.5+float64(i))
+	}
+	st := src.State()
+
+	dst, err := NewSharded(16, 4, 0.6, 0.4, 1e-3, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.SetState(st); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Len() != src.Len() {
+		t.Fatalf("restored len %d, want %d", dst.Len(), src.Len())
+	}
+	for k := range src.shards {
+		a, b := &src.shards[k], &dst.shards[k]
+		if a.count != b.count || a.next != b.next || a.maxPrior != b.maxPrior {
+			t.Fatalf("shard %d cursor state differs", k)
+		}
+		for i := 0; i < a.count; i++ {
+			if a.tree.get(i) != b.tree.get(i) {
+				t.Errorf("shard %d leaf %d: %v vs %v", k, i, b.tree.get(i), a.tree.get(i))
+			}
+			if a.data[i].Reward != b.data[i].Reward {
+				t.Errorf("shard %d slot %d data differs", k, i)
+			}
+		}
+	}
+
+	// Shard-count mismatch is refused.
+	other, _ := NewSharded(16, 2, 0.6, 0.4, 1e-3, 7)
+	if err := other.SetState(st); err == nil {
+		t.Fatal("shard-count mismatch accepted")
+	}
+	// Non-empty target is refused.
+	dirty, _ := NewSharded(16, 4, 0.6, 0.4, 1e-3, 7)
+	dirty.Add(tr(1))
+	if err := dirty.SetState(st); err == nil {
+		t.Fatal("restore into non-empty sharded buffer accepted")
+	}
+	// Per-shard capacity mismatch is refused.
+	tiny, _ := NewSharded(4, 4, 0.6, 0.4, 1e-3, 7)
+	if err := tiny.SetState(st); err == nil {
+		t.Fatal("per-shard capacity mismatch accepted")
+	}
+}

@@ -1,0 +1,29 @@
+// Package rpcutil is the hardened net/rpc plumbing shared by the
+// training plane (internal/rl/apex) and the serving control plane
+// (internal/serve): a connection-tracking TCP server whose Close
+// actually terminates in-flight handlers, a client connection with a
+// per-call deadline, and error matching that survives net/rpc's
+// flattening of server-side errors into strings.
+//
+// # Server lifecycle
+//
+// An rpc.ServeConn handler blocks reading the next request until its
+// *client* hangs up, so a naive server's Close would wait on peers
+// that never disconnect. Serve tracks every accepted connection;
+// Close closes them all, then the listener, then waits for handlers
+// to drain. Safe to call concurrently and more than once.
+//
+// # Call deadlines
+//
+// net/rpc cannot abandon a single in-flight call, so a Conn whose
+// call exceeds its Timeout tears down the whole connection (failing
+// every call pending on it) and returns a retryable *DeadlineError.
+// Callers that want to keep going redial.
+//
+// # Error matching
+//
+// net/rpc delivers a server-side error to remote callers as an
+// rpc.ServerError holding only the message string. Matches compares
+// by errors.Is in-process and by message prefix across the wire —
+// which is why sentinel error strings passed to it must stay stable.
+package rpcutil

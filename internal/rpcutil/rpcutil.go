@@ -1,0 +1,155 @@
+package rpcutil
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"net/rpc"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Matches reports whether err is target, either directly (in-process)
+// or as the rpc.ServerError net/rpc delivers to remote callers
+// (matched by message prefix).
+func Matches(err, target error) bool {
+	if errors.Is(err, target) {
+		return true
+	}
+	var se rpc.ServerError
+	if errors.As(err, &se) {
+		return strings.HasPrefix(string(se), target.Error())
+	}
+	return false
+}
+
+// DeadlineError is the retryable failure of an RPC call that exceeded
+// its deadline; the underlying connection has been torn down.
+type DeadlineError struct {
+	Method  string
+	Timeout time.Duration
+}
+
+// Error implements error.
+func (e *DeadlineError) Error() string {
+	return fmt.Sprintf("rpc: %s exceeded %v deadline", e.Method, e.Timeout)
+}
+
+// Server hosts one RPC receiver over TCP. It tracks its open
+// connections so Close can tear them down instead of waiting for
+// every client to hang up.
+type Server struct {
+	listener net.Listener
+	wg       sync.WaitGroup
+	mu       sync.Mutex
+	conns    map[net.Conn]struct{}
+	closed   bool
+}
+
+// Serve registers rcvr's methods under name and starts serving on
+// addr (e.g. "127.0.0.1:0" for an ephemeral port). It returns once
+// listening; connections are served in the background until Close.
+func Serve(name string, rcvr any, addr string) (*Server, error) {
+	srv := rpc.NewServer()
+	if err := srv.RegisterName(name, rcvr); err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{listener: ln, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return // listener closed
+			}
+			s.mu.Lock()
+			if s.closed {
+				s.mu.Unlock()
+				conn.Close()
+				return
+			}
+			s.conns[conn] = struct{}{}
+			s.mu.Unlock()
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				srv.ServeConn(conn)
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+			}()
+		}
+	}()
+	return s, nil
+}
+
+// Addr reports the listening address.
+func (s *Server) Addr() string { return s.listener.Addr().String() }
+
+// Close stops accepting connections, disconnects the remaining
+// clients, and waits for in-flight handlers.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	err := s.listener.Close()
+	s.wg.Wait()
+	return err
+}
+
+// Conn is a single TCP connection to a Server; once the connection
+// drops its calls fail permanently and the caller must redial.
+type Conn struct {
+	rc   *rpc.Client
+	conn net.Conn
+	// Timeout bounds each RPC round-trip; on expiry the call fails
+	// with a *DeadlineError and the connection is torn down (net/rpc
+	// cannot abandon a single in-flight call). Zero disables the
+	// deadline. Set before issuing calls.
+	Timeout time.Duration
+}
+
+// Dial connects to a Server with the given per-call deadline.
+func Dial(addr string, timeout time.Duration) (*Conn, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("rpc: dial %s: %w", addr, err)
+	}
+	return &Conn{rc: rpc.NewClient(conn), conn: conn, Timeout: timeout}, nil
+}
+
+// Call invokes one RPC with the per-call deadline. A timed-out call
+// closes the connection — tearing down every call pending on it — and
+// returns a retryable *DeadlineError.
+func (c *Conn) Call(method string, args, reply any) error {
+	if c.Timeout <= 0 {
+		return c.rc.Call(method, args, reply)
+	}
+	call := c.rc.Go(method, args, reply, make(chan *rpc.Call, 1))
+	timer := time.NewTimer(c.Timeout)
+	defer timer.Stop()
+	select {
+	case <-call.Done:
+		return call.Error
+	case <-timer.C:
+		c.conn.Close()
+		<-call.Done // client errors out all pending calls on teardown
+		return &DeadlineError{Method: method, Timeout: c.Timeout}
+	}
+}
+
+// Close releases the connection.
+func (c *Conn) Close() error { return c.rc.Close() }

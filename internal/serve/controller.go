@@ -1,0 +1,383 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"greennfv/internal/env"
+	"greennfv/internal/perfmodel"
+	"greennfv/internal/rl/apex"
+	"greennfv/internal/rl/ddpg"
+	"greennfv/internal/rpcutil"
+	"greennfv/internal/stats"
+)
+
+// Serving counter names (stats.Counters keys), shared by controller
+// and agent ledgers.
+const (
+	// CounterConfigsPushed counts vetted configurations emitted.
+	CounterConfigsPushed = "configs_pushed"
+	// CounterFallbackActivations counts drops down the degradation
+	// ladder (any rung below fresh policy).
+	CounterFallbackActivations = "fallback_activations"
+	// CounterGuardrailRejections counts proposals the guardrail
+	// refused.
+	CounterGuardrailRejections = "guardrail_rejections"
+	// CounterHeartbeatMisses counts lease expiries (controller) or
+	// failed report calls (agent).
+	CounterHeartbeatMisses = "heartbeat_misses"
+)
+
+// Config assembles a Controller.
+type Config struct {
+	// Spec is the node environment contract (chain, workload, SLA) —
+	// the same JSON spec the training plane ships to remote actors.
+	// The controller uses it to size the policy, decode actions and
+	// predict proposals; agents use it to build their local env.
+	Spec apex.ActorSpec
+	// PolicyPath is the boot policy checkpoint (ddpg.SaveState blob).
+	// Ignored when StatePath resumes a persisted policy.
+	PolicyPath string
+	// StatePath, when set, persists controller state (policy blob +
+	// last-known-good configs) crash-safely across restarts.
+	StatePath string
+	// LeaseWindow is the heartbeat window: a node silent for longer
+	// loses its lease and must re-register. Zero defaults to 10s.
+	LeaseWindow time.Duration
+	// NewLimiter builds each node's rate limiter (nil: DefaultLimiter).
+	NewLimiter func() *Limiter
+}
+
+// nodeRec is the controller's per-node record: lease, heartbeat,
+// limiter baseline.
+type nodeRec struct {
+	epoch      uint64
+	registered bool
+	lastReport time.Time
+	limiter    *Limiter
+}
+
+// Controller is the serving-plane brain: it holds the policy, leases
+// the fleet, and turns node observations into vetted knob configs.
+// All methods are goroutine-safe (RPC handlers, the lease sweeper and
+// hot reloads serialize on one mutex).
+type Controller struct {
+	cfg      Config
+	counters *stats.Counters
+
+	mu            sync.Mutex
+	agent         *ddpg.Agent
+	policyBlob    []byte
+	policyVersion int
+	probe         *env.Env // decodes actions; never stepped
+	guard         Guardrail
+	action        []float64
+	knobs         []perfmodel.NFKnobs
+	nodes         map[string]*nodeRec
+	lastGood      map[string][]perfmodel.NFKnobs
+	nextEpoch     uint64
+	store         *StateStore
+
+	srv *rpcutil.Server
+}
+
+// NewController builds a controller: policy loaded and validated
+// against the node spec, persisted state resumed when present.
+func NewController(cfg Config) (*Controller, error) {
+	if cfg.LeaseWindow <= 0 {
+		cfg.LeaseWindow = 10 * time.Second
+	}
+	if cfg.NewLimiter == nil {
+		cfg.NewLimiter = DefaultLimiter
+	}
+	probe, err := cfg.Spec.BuildEnv(0)
+	if err != nil {
+		return nil, fmt.Errorf("serve: node spec: %w", err)
+	}
+	c := &Controller{
+		cfg:      cfg,
+		counters: stats.NewCounters(),
+		probe:    probe,
+		guard: Guardrail{
+			Model:  perfmodel.Default(),
+			Chain:  probe.Chain(),
+			Bounds: probe.Bounds(),
+			SLA:    probe.SLA(),
+		},
+		action:   make([]float64, probe.ActionDim()),
+		knobs:    make([]perfmodel.NFKnobs, probe.NumNFs()),
+		nodes:    make(map[string]*nodeRec),
+		lastGood: make(map[string][]perfmodel.NFKnobs),
+	}
+
+	var resumed *ControllerState
+	if cfg.StatePath != "" {
+		store, err := OpenStateStore(cfg.StatePath)
+		if err != nil {
+			return nil, err
+		}
+		c.store = store
+		if resumed, err = store.Load(); err != nil {
+			return nil, err
+		}
+	}
+	switch {
+	case resumed != nil:
+		agent, err := c.validatePolicy(resumed.PolicyBlob)
+		if err != nil {
+			return nil, fmt.Errorf("serve: persisted policy: %w", err)
+		}
+		c.agent, c.policyBlob = agent, resumed.PolicyBlob
+		c.policyVersion = resumed.PolicyVersion
+		for id, ks := range resumed.LastGood {
+			c.lastGood[id] = ks
+		}
+	case cfg.PolicyPath != "":
+		blob, err := os.ReadFile(cfg.PolicyPath)
+		if err != nil {
+			return nil, fmt.Errorf("serve: read policy: %w", err)
+		}
+		agent, err := c.validatePolicy(blob)
+		if err != nil {
+			return nil, err
+		}
+		c.agent, c.policyBlob = agent, blob
+		c.policyVersion = 1
+	default:
+		return nil, errors.New("serve: controller needs a policy (PolicyPath or persisted state)")
+	}
+	return c, nil
+}
+
+// validatePolicy decodes a policy blob and checks its dimensions
+// against the node spec — the gate both boot and hot reload pass
+// through.
+func (c *Controller) validatePolicy(blob []byte) (*ddpg.Agent, error) {
+	agent, err := ddpg.LoadAgentBytes(blob)
+	if err != nil {
+		return nil, fmt.Errorf("serve: load policy: %w", err)
+	}
+	acfg := agent.Config()
+	if acfg.StateDim != c.probe.StateDim() || acfg.ActionDim != c.probe.ActionDim() {
+		return nil, fmt.Errorf("serve: policy dims %dx%d do not match node spec %dx%d",
+			acfg.StateDim, acfg.ActionDim, c.probe.StateDim(), c.probe.ActionDim())
+	}
+	return agent, nil
+}
+
+// Start serves the controller RPC on addr (e.g. "127.0.0.1:7070";
+// ":0" for an ephemeral port).
+func (c *Controller) Start(addr string) error {
+	srv, err := rpcutil.Serve("Controller", &ControllerService{c: c}, addr)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.srv = srv
+	c.mu.Unlock()
+	return nil
+}
+
+// Addr reports the RPC listen address (after Start).
+func (c *Controller) Addr() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.srv == nil {
+		return ""
+	}
+	return c.srv.Addr()
+}
+
+// Close persists state and stops the RPC server. Agents surviving the
+// controller degrade locally and re-register when it returns.
+func (c *Controller) Close() error {
+	c.mu.Lock()
+	srv := c.srv
+	c.srv = nil
+	err := c.persistLocked()
+	c.mu.Unlock()
+	if srv != nil {
+		if cerr := srv.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// Counters exposes the controller's serving ledger.
+func (c *Controller) Counters() *stats.Counters { return c.counters }
+
+// PolicyVersion reports the serving policy version (bumped by every
+// successful reload).
+func (c *Controller) PolicyVersion() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.policyVersion
+}
+
+// ReloadPolicy hot-swaps the serving policy from a checkpoint file:
+// the blob is read and fully validated first, then swapped atomically
+// under the serving lock. A corrupt or mismatched checkpoint is
+// rejected loudly and the current policy keeps serving untouched.
+func (c *Controller) ReloadPolicy(path string) error {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("serve: reload policy: %w", err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	agent, err := c.validatePolicy(blob)
+	if err != nil {
+		return fmt.Errorf("serve: reload rejected: %w", err)
+	}
+	c.agent, c.policyBlob = agent, blob
+	c.policyVersion++
+	return c.persistLocked()
+}
+
+// ExpireLeases revokes the lease of every node that has not reported
+// within the lease window, counting each as a heartbeat miss, and
+// returns how many were expired. The daemon calls this periodically;
+// an expired node's next report fails with ErrUnregisteredNode and it
+// re-registers transparently.
+func (c *Controller) ExpireLeases(now time.Time) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	expired := 0
+	cutoff := now.Add(-c.cfg.LeaseWindow)
+	for _, rec := range c.nodes {
+		if rec.registered && rec.lastReport.Before(cutoff) {
+			rec.registered = false
+			rec.limiter.Reset()
+			c.counters.Inc(CounterHeartbeatMisses)
+			expired++
+		}
+	}
+	return expired
+}
+
+// register implements the Register RPC.
+func (c *Controller) register(args *RegisterNodeArgs, reply *RegisterNodeReply) error {
+	if args.NodeID == "" {
+		return errors.New("serve: empty node ID")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rec, ok := c.nodes[args.NodeID]
+	if !ok {
+		rec = &nodeRec{limiter: c.cfg.NewLimiter()}
+		c.nodes[args.NodeID] = rec
+	}
+	rec.registered = true
+	c.nextEpoch++
+	rec.epoch = c.nextEpoch
+	rec.lastReport = time.Now()
+	rec.limiter.Reset()
+	reply.Epoch = rec.epoch
+	reply.PolicyVersion = c.policyVersion
+	return nil
+}
+
+// report implements the Report RPC: lease check, policy decision,
+// limiter, guardrail, ladder.
+func (c *Controller) report(args *ReportArgs, reply *ReportReply) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rec, ok := c.nodes[args.NodeID]
+	if !ok || !rec.registered {
+		return fmt.Errorf("%w %q: register first", ErrUnregisteredNode, args.NodeID)
+	}
+	if args.Epoch != rec.epoch {
+		return fmt.Errorf("%w: node %q epoch %d superseded by %d",
+			ErrStaleNodeEpoch, args.NodeID, args.Epoch, rec.epoch)
+	}
+	rec.lastReport = time.Now()
+	if len(args.Obs) != c.probe.StateDim() {
+		return fmt.Errorf("serve: observation dim %d, want %d", len(args.Obs), c.probe.StateDim())
+	}
+	if args.Traffic.OfferedPPS <= 0 {
+		return fmt.Errorf("serve: report carries no traffic")
+	}
+	reply.PolicyVersion = c.policyVersion
+
+	// Rung 1: fresh policy decision, rate-limited then vetted.
+	if err := c.agent.ActInto(args.Obs, false, c.action); err != nil {
+		return fmt.Errorf("serve: policy action: %w", err)
+	}
+	for i := range c.knobs {
+		c.knobs[i] = c.probe.DecodeAction(c.action[i*env.KnobsPerNF : (i+1)*env.KnobsPerNF])
+	}
+	limited := rec.limiter.Limit(c.knobs)
+	if _, err := c.guard.Check(limited, args.Traffic); err == nil {
+		reply.Config = append([]perfmodel.NFKnobs(nil), limited...)
+		reply.Source = SourcePolicy
+		rec.limiter.Record(limited)
+		c.recordLastGoodLocked(args.NodeID, limited)
+		c.counters.Inc(CounterConfigsPushed)
+		return nil
+	}
+	c.counters.Inc(CounterGuardrailRejections)
+	c.counters.Inc(CounterFallbackActivations)
+
+	// Rung 2: last-known-good, re-vetted under the node's current
+	// traffic.
+	if lg := c.lastGood[args.NodeID]; lg != nil {
+		if _, err := c.guard.Check(lg, args.Traffic); err == nil {
+			reply.Config = append([]perfmodel.NFKnobs(nil), lg...)
+			reply.Source = SourceLastGood
+			rec.limiter.Record(lg)
+			c.counters.Inc(CounterConfigsPushed)
+			return nil
+		}
+	}
+
+	// Nothing approved: the node holds its configuration and walks its
+	// own ladder (heuristic rung runs agent-side, on the real env).
+	reply.Hold = true
+	reply.Source = SourceHold
+	return nil
+}
+
+// recordLastGoodLocked stores a vetted config as the node's
+// last-known-good and persists if it changed. Caller holds mu.
+func (c *Controller) recordLastGoodLocked(nodeID string, ks []perfmodel.NFKnobs) {
+	prev := c.lastGood[nodeID]
+	same := len(prev) == len(ks)
+	if same {
+		for i := range ks {
+			if prev[i] != ks[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		return
+	}
+	c.lastGood[nodeID] = append([]perfmodel.NFKnobs(nil), ks...)
+	if err := c.persistLocked(); err != nil {
+		// Persistence failure must not take down serving; the ledger
+		// records it and the next change retries.
+		c.counters.Inc("state_persist_errors")
+	}
+}
+
+// persistLocked writes controller state through the store (no-op
+// without one). Caller holds mu.
+func (c *Controller) persistLocked() error {
+	if c.store == nil {
+		return nil
+	}
+	lg := make(map[string][]perfmodel.NFKnobs, len(c.lastGood))
+	for id, ks := range c.lastGood {
+		lg[id] = ks
+	}
+	return c.store.Save(&ControllerState{
+		PolicyBlob:    c.policyBlob,
+		PolicyVersion: c.policyVersion,
+		LastGood:      lg,
+	})
+}

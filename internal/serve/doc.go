@@ -1,0 +1,52 @@
+// Package serve is the policy-serving control plane: the runtime that
+// takes a trained GreenNFV policy out of the test harness and puts it
+// in front of live traffic, in the controller/speaker split of
+// metallb — one controller daemon (cmd/greennfvd) holding the policy,
+// one node agent (cmd/greennfv-agent) per chain-hosting server
+// applying knob configurations to its local dataplane.
+//
+// # Topology and protocol
+//
+// Node agents register with the controller over net/rpc (rpcutil) and
+// then report each control interval: observation vector, offered
+// traffic, last measurement. The controller answers with the next
+// knob configuration — the policy's greedy action decoded to knobs,
+// rate-limited against the node's previous configuration and vetted
+// by the SLA guardrail. Registration issues a per-node lease epoch
+// (the zombie-fencing pattern of the training plane): reports from a
+// superseded epoch are rejected fatally, reports from an unknown node
+// are rejected retryably, and a controller restart simply makes the
+// fleet re-register.
+//
+// # Safety invariant
+//
+// No config is ever applied that is outside the knob bounds or that
+// the performance model predicts would violate the node's SLA. Every
+// proposal — from the policy, the last-known-good store, or the
+// heuristic fallback — passes through a Guardrail before it touches a
+// node; a proposal that fails every rung makes the agent hold its
+// current configuration rather than apply something unvetted. The
+// guardrail property test pins this invariant; the chaos e2e pins it
+// under partition, controller kill and corrupt reload.
+//
+// # Degradation ladder
+//
+// Fresh policy → last-known-good config → heuristic fallback
+// (control.Heuristic, Algorithm 1) → hold. The controller walks the
+// ladder when the guardrail rejects the policy's proposal; the agent
+// walks it locally when the controller is unreachable or its configs
+// have gone stale, so a partitioned node keeps serving safely and
+// reconverges to policy-driven configs within one heartbeat window of
+// the partition healing.
+//
+// # Crash safety
+//
+// Controller state — the current policy blob, its version, and each
+// node's last-known-good config — persists through atomicio (magic
+// "GNFVSRV1", temp+fsync+rename, CRC). A restarted controller resumes
+// with the policy it was last serving (hot reloads included) and the
+// fleet re-registers transparently. Hot policy reload validates the
+// new checkpoint (dimensions against the node spec, decodable agent)
+// before an atomic swap; a corrupt or mismatched checkpoint is
+// rejected loudly without dropping the serving loop.
+package serve

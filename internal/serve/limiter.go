@@ -1,0 +1,128 @@
+package serve
+
+import (
+	"math"
+
+	"greennfv/internal/perfmodel"
+)
+
+// Limiter applies hysteresis and rate limiting to a stream of knob
+// proposals for one node, so a noisy policy cannot thrash hardware
+// states: per-interval knob deltas are capped against the node's
+// last applied configuration, and changes inside a relative deadband
+// hold the previous value instead of twitching the hardware.
+//
+// Limit computes the limited proposal; Record advances the baseline
+// to the configuration actually applied — kept separate so a
+// guardrail-rejected proposal never becomes the next baseline. The
+// first Limit after construction or Reset passes through unmodified
+// (there is nothing to rate against).
+//
+// Not goroutine-safe; one Limiter per node, owned by its serving loop.
+type Limiter struct {
+	// MaxShareStep, MaxFreqStep and MaxLLCStep cap the per-interval
+	// change of the continuous knobs (absolute units: cores, GHz, LLC
+	// fraction). Zero disables that knob's rate cap.
+	MaxShareStep, MaxFreqStep, MaxLLCStep float64
+	// MaxDMAFactor and MaxBatchFactor cap the per-interval
+	// multiplicative change of the log-scaled knobs (e.g. 2 allows at
+	// most doubling/halving). Values <= 1 disable the cap.
+	MaxDMAFactor, MaxBatchFactor float64
+	// Deadband is the relative change below which a knob holds its
+	// previous value (hysteresis). Zero disables it.
+	Deadband float64
+
+	prev []perfmodel.NFKnobs // last Recorded config (nil: no baseline)
+	out  []perfmodel.NFKnobs // Limit scratch
+}
+
+// DefaultLimiter returns the serving-plane limits: at most 2 cores,
+// 0.3 GHz and 25% of the LLC moved per interval, at most a 4x swing
+// on DMA ring and batch, and a 5% deadband.
+func DefaultLimiter() *Limiter {
+	return &Limiter{
+		MaxShareStep:   2,
+		MaxFreqStep:    0.3,
+		MaxLLCStep:     0.25,
+		MaxDMAFactor:   4,
+		MaxBatchFactor: 4,
+		Deadband:       0.05,
+	}
+}
+
+// Reset forgets the baseline (the next Limit passes through). Used
+// when a node re-registers after an outage.
+func (l *Limiter) Reset() { l.prev = nil }
+
+// Record sets the baseline to the configuration actually applied.
+func (l *Limiter) Record(applied []perfmodel.NFKnobs) {
+	if len(l.prev) != len(applied) {
+		l.prev = make([]perfmodel.NFKnobs, len(applied))
+	}
+	copy(l.prev, applied)
+}
+
+// Limit rate-limits proposed against the recorded baseline without
+// advancing it. The returned slice is limiter scratch, valid until
+// the next Limit.
+func (l *Limiter) Limit(proposed []perfmodel.NFKnobs) []perfmodel.NFKnobs {
+	if len(l.out) != len(proposed) {
+		l.out = make([]perfmodel.NFKnobs, len(proposed))
+	}
+	if len(l.prev) != len(proposed) {
+		copy(l.out, proposed)
+		return l.out
+	}
+	for i, p := range proposed {
+		prev := l.prev[i]
+		p.CPUShare = l.limitLinear(p.CPUShare, prev.CPUShare, l.MaxShareStep)
+		p.FreqGHz = l.limitLinear(p.FreqGHz, prev.FreqGHz, l.MaxFreqStep)
+		p.LLCFraction = l.limitLinear(p.LLCFraction, prev.LLCFraction, l.MaxLLCStep)
+		p.DMABytes = int64(l.limitFactor(float64(p.DMABytes), float64(prev.DMABytes), l.MaxDMAFactor))
+		p.Batch = int(math.Round(l.limitFactor(float64(p.Batch), float64(prev.Batch), l.MaxBatchFactor)))
+		l.out[i] = p
+	}
+	return l.out
+}
+
+// limitLinear caps |v - prev| at step and applies the deadband.
+func (l *Limiter) limitLinear(v, prev, step float64) float64 {
+	if l.hold(v, prev) {
+		return prev
+	}
+	if step > 0 {
+		if v > prev+step {
+			return prev + step
+		}
+		if v < prev-step {
+			return prev - step
+		}
+	}
+	return v
+}
+
+// limitFactor caps v/prev at factor (and prev/v likewise) and applies
+// the deadband.
+func (l *Limiter) limitFactor(v, prev, factor float64) float64 {
+	if l.hold(v, prev) {
+		return prev
+	}
+	if factor > 1 && prev > 0 {
+		if v > prev*factor {
+			return prev * factor
+		}
+		if v < prev/factor {
+			return prev / factor
+		}
+	}
+	return v
+}
+
+// hold reports whether the relative change from prev to v is inside
+// the deadband.
+func (l *Limiter) hold(v, prev float64) bool {
+	if l.Deadband <= 0 || prev == 0 {
+		return false
+	}
+	return math.Abs(v-prev) <= l.Deadband*math.Abs(prev)
+}

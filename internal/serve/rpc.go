@@ -1,0 +1,120 @@
+package serve
+
+import (
+	"errors"
+	"time"
+
+	"greennfv/internal/perfmodel"
+	"greennfv/internal/rpcutil"
+)
+
+// The wire contract between node agents and the controller, in the
+// idiom of the training plane's actor RPC: registration issues a
+// per-node lease epoch, every report is authenticated by (node ID,
+// epoch), and net/rpc's error flattening is handled by stable
+// sentinel prefixes (rpcutil.Matches).
+
+// DefaultCallTimeout bounds one agent RPC round-trip. Reports move a
+// few hundred bytes; a second is orders of magnitude above healthy
+// latency while still detecting a dead controller within one control
+// interval.
+const DefaultCallTimeout = 1 * time.Second
+
+// Typed RPC failures. Keep the message strings stable: remote callers
+// match them by prefix.
+var (
+	// ErrUnregisteredNode rejects a report whose node has no live
+	// lease on this controller instance. Retryable: re-register (the
+	// normal path after a controller restart or a lease expiry) and
+	// repeat.
+	ErrUnregisteredNode = errors.New("serve: unregistered node")
+	// ErrStaleNodeEpoch rejects a report carrying an epoch that a
+	// newer Register for the same node ID superseded. Fatal for that
+	// agent instance: a replacement already registered, so the caller
+	// must stop applying configs rather than fight it.
+	ErrStaleNodeEpoch = errors.New("serve: stale node epoch")
+)
+
+// IsUnregisteredNode reports whether err is an ErrUnregisteredNode
+// rejection, locally or over RPC.
+func IsUnregisteredNode(err error) bool { return rpcutil.Matches(err, ErrUnregisteredNode) }
+
+// IsStaleNodeEpoch reports whether err is an ErrStaleNodeEpoch
+// rejection, locally or over RPC.
+func IsStaleNodeEpoch(err error) bool { return rpcutil.Matches(err, ErrStaleNodeEpoch) }
+
+// Config sources, reported so agents and tests can observe which rung
+// of the degradation ladder produced a configuration.
+const (
+	// SourcePolicy marks a fresh policy decision.
+	SourcePolicy = "policy"
+	// SourceLastGood marks a replayed last-known-good configuration.
+	SourceLastGood = "last-good"
+	// SourceFallback marks a heuristic-fallback configuration.
+	SourceFallback = "fallback"
+	// SourceHold marks an interval where no new configuration was
+	// approved and the node kept its current one.
+	SourceHold = "hold"
+)
+
+// RegisterNodeArgs announces a node agent to the controller.
+type RegisterNodeArgs struct {
+	NodeID string
+}
+
+// RegisterNodeReply returns the lease epoch the node must echo in
+// every report, plus the serving policy version for observability.
+type RegisterNodeReply struct {
+	Epoch         uint64
+	PolicyVersion int
+}
+
+// ReportArgs is one control-interval observation from a node.
+type ReportArgs struct {
+	// NodeID and Epoch identify the leased caller; reports without a
+	// live lease fail with ErrUnregisteredNode (re-register and
+	// retry), reports with a superseded epoch with ErrStaleNodeEpoch
+	// (fatal).
+	NodeID string
+	Epoch  uint64
+	// Obs is the node's state vector (env.ObserveInto layout; length
+	// must match the controller's policy).
+	Obs []float64
+	// Traffic is the node's current offered traffic — what the
+	// guardrail predicts proposals against.
+	Traffic perfmodel.Traffic
+}
+
+// ReportReply carries the controller's decision for the interval.
+type ReportReply struct {
+	// Hold, when true, means no proposal survived the controller's
+	// guardrail this interval: the node keeps its current
+	// configuration (and walks its own ladder). Config is nil.
+	Hold bool
+	// Config is the vetted knob configuration to apply.
+	Config []perfmodel.NFKnobs
+	// Source is the ladder rung that produced Config (SourcePolicy or
+	// SourceLastGood; the heuristic rung runs agent-side).
+	Source string
+	// PolicyVersion is the serving policy version, bumped by every
+	// hot reload.
+	PolicyVersion int
+}
+
+// ControllerService is the net/rpc wrapper around a Controller.
+type ControllerService struct {
+	c *Controller
+}
+
+// Register is the RPC method agents call at startup — and again after
+// a controller restart or lease expiry. Each call issues a fresh
+// epoch, fencing off any zombie agent instance still holding the
+// previous one.
+func (s *ControllerService) Register(args *RegisterNodeArgs, reply *RegisterNodeReply) error {
+	return s.c.register(args, reply)
+}
+
+// Report is the RPC method agents call once per control interval.
+func (s *ControllerService) Report(args *ReportArgs, reply *ReportReply) error {
+	return s.c.report(args, reply)
+}

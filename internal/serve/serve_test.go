@@ -1,0 +1,375 @@
+package serve
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"greennfv/internal/atomicio"
+	"greennfv/internal/perfmodel"
+	"greennfv/internal/rl/apex"
+	"greennfv/internal/rl/ddpg"
+	"greennfv/internal/sla"
+)
+
+// testSpec is the node contract the serving tests share: the standard
+// three-NF chain on the paper's workload, no load jitter (so the
+// guardrail's prediction equals the node's measurement and the SLA
+// property can be asserted exactly).
+func testSpec(s sla.SLA) apex.ActorSpec {
+	return apex.ActorSpec{SLA: s, EnvSeed: 42}
+}
+
+// writePolicy saves an untrained (random-weight — the noisiest policy
+// there is) agent checkpoint sized for spec, returning its path.
+func writePolicy(t *testing.T, dir string, spec apex.ActorSpec, seed int64) string {
+	t.Helper()
+	e, err := spec.BuildEnv(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := ddpg.DefaultConfig(e.StateDim(), e.ActionDim())
+	cfg.Hidden = []int{16, 16}
+	cfg.Seed = seed
+	agent, err := ddpg.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := agent.StateBytes(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "policy.ckpt")
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// startController builds and starts a controller for spec on an
+// ephemeral port.
+func startController(t *testing.T, cfg Config) *Controller {
+	t.Helper()
+	c, err := NewController(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// inBounds reports whether every knob set lies inside b.
+func inBounds(ks []perfmodel.NFKnobs, b perfmodel.KnobBounds) bool {
+	for _, k := range ks {
+		if k != b.Clamp(k) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestServePolicyEndToEnd drives one agent against a live controller:
+// configs arrive from the policy rung, stay in bounds, and the
+// counters account for them.
+func TestServePolicyEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	spec := testSpec(sla.NewEnergyEfficiency())
+	ctrl := startController(t, Config{
+		Spec:       spec,
+		PolicyPath: writePolicy(t, dir, spec, 1),
+	})
+	agent, err := NewNodeAgent(NodeConfig{
+		NodeID: "node-a", ControllerAddr: ctrl.Addr(), Spec: spec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer agent.Close()
+
+	now := time.Now()
+	for i := 0; i < 5; i++ {
+		if err := agent.Step(now.Add(time.Duration(i) * time.Second)); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+		if agent.Mode() != SourcePolicy {
+			t.Fatalf("step %d: mode %q, want %q", i, agent.Mode(), SourcePolicy)
+		}
+		if ks := agent.Env().Knobs(); !inBounds(ks, agent.Env().Bounds()) {
+			t.Fatalf("step %d: applied knobs out of bounds: %+v", i, ks)
+		}
+	}
+	if got := ctrl.Counters().Get(CounterConfigsPushed); got != 5 {
+		t.Errorf("controller pushed %d configs, want 5", got)
+	}
+	if got := agent.Counters().Get(CounterConfigsPushed); got != 5 {
+		t.Errorf("agent applied %d configs, want 5", got)
+	}
+	if got := ctrl.Counters().Get(CounterGuardrailRejections); got != 0 {
+		t.Errorf("unexpected guardrail rejections: %d", got)
+	}
+}
+
+// TestGuardrailProperty is the serving-plane safety invariant: over
+// many intervals under a constrained SLA and an untrained (noisy)
+// policy, every configuration the node applies is inside the knob
+// bounds, and every interval that applied one (any rung) has a
+// measurement satisfying the SLA — nothing guardrail-rejected ever
+// reaches the node. Jitter-free traffic makes prediction equal
+// measurement, so the assertion is exact.
+func TestGuardrailProperty(t *testing.T) {
+	budget, err := sla.NewMaxThroughput(2600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	spec := testSpec(budget)
+	ctrl := startController(t, Config{
+		Spec:       spec,
+		PolicyPath: writePolicy(t, dir, spec, 2),
+	})
+	agent, err := NewNodeAgent(NodeConfig{
+		NodeID: "node-a", ControllerAddr: ctrl.Addr(), Spec: spec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer agent.Close()
+
+	applied := 0
+	now := time.Now()
+	for i := 0; i < 60; i++ {
+		agent.Step(now.Add(time.Duration(i) * time.Second)) // degraded intervals are allowed
+		if ks := agent.Env().Knobs(); !inBounds(ks, agent.Env().Bounds()) {
+			t.Fatalf("step %d: knobs out of bounds: %+v", i, ks)
+		}
+		if agent.Mode() != SourceHold {
+			applied++
+			res := agent.LastResult()
+			if !budget.Satisfied(res.ThroughputGbps, res.EnergyJoules) {
+				t.Fatalf("step %d (%s): applied config violates SLA: %.2f Gbps %.0f J",
+					i, agent.Mode(), res.ThroughputGbps, res.EnergyJoules)
+			}
+		}
+	}
+	if applied == 0 {
+		t.Fatal("no interval applied a config; property vacuous")
+	}
+}
+
+// TestLimiter pins rate caps and hysteresis: pass-through first, caps
+// on big jumps, deadband holds on small ones.
+func TestLimiter(t *testing.T) {
+	l := DefaultLimiter()
+	first := []perfmodel.NFKnobs{{CPUShare: 1, FreqGHz: 1.5, LLCFraction: 0.5, DMABytes: 4 << 20, Batch: 8}}
+	if got := l.Limit(first); got[0] != first[0] {
+		t.Fatalf("first Limit altered the proposal: %+v", got[0])
+	}
+	l.Record(first)
+
+	jump := []perfmodel.NFKnobs{{CPUShare: 4, FreqGHz: 2.1, LLCFraction: 1.0, DMABytes: 40 << 20, Batch: 256}}
+	got := l.Limit(jump)[0]
+	if got.CPUShare != 3 {
+		t.Errorf("share step: got %v, want 3 (1+2)", got.CPUShare)
+	}
+	if got.FreqGHz != 1.8 {
+		t.Errorf("freq step: got %v, want 1.8 (1.5+0.3)", got.FreqGHz)
+	}
+	if got.LLCFraction != 0.75 {
+		t.Errorf("llc step: got %v, want 0.75 (0.5+0.25)", got.LLCFraction)
+	}
+	if got.DMABytes != 16<<20 {
+		t.Errorf("dma factor: got %d, want %d (4x)", got.DMABytes, int64(16<<20))
+	}
+	if got.Batch != 32 {
+		t.Errorf("batch factor: got %d, want 32 (4x)", got.Batch)
+	}
+
+	// Small wiggles inside the 5% deadband hold the baseline exactly.
+	wiggle := []perfmodel.NFKnobs{{CPUShare: 1.04, FreqGHz: 1.52, LLCFraction: 0.49, DMABytes: 4<<20 + 1000, Batch: 8}}
+	if got := l.Limit(wiggle)[0]; got != first[0] {
+		t.Errorf("deadband did not hold: %+v vs %+v", got, first[0])
+	}
+
+	// A guardrail-rejected proposal must not move the baseline: Limit
+	// again without Record and the caps still rate against `first`.
+	if got := l.Limit(jump)[0]; got.FreqGHz != 1.8 {
+		t.Errorf("baseline moved without Record: freq %v, want 1.8", got.FreqGHz)
+	}
+	l.Reset()
+	if got := l.Limit(jump)[0]; got != jump[0] {
+		t.Errorf("post-Reset Limit altered the proposal: %+v", got)
+	}
+}
+
+// TestLeaseFencing pins the zombie-fencing story: a second
+// registration for the same node supersedes the first (stale epoch is
+// fatal), and an expired lease forces a transparent re-register.
+func TestLeaseFencing(t *testing.T) {
+	dir := t.TempDir()
+	spec := testSpec(sla.NewEnergyEfficiency())
+	ctrl := startController(t, Config{
+		Spec:        spec,
+		PolicyPath:  writePolicy(t, dir, spec, 3),
+		LeaseWindow: 50 * time.Millisecond,
+	})
+	mk := func() *NodeAgent {
+		a, err := NewNodeAgent(NodeConfig{
+			NodeID: "node-a", ControllerAddr: ctrl.Addr(), Spec: spec,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { a.Close() })
+		return a
+	}
+	now := time.Now()
+	old := mk()
+	if err := old.Step(now); err != nil {
+		t.Fatal(err)
+	}
+	// A replacement registers; the old instance's epoch is superseded.
+	repl := mk()
+	if err := repl.Step(now); err != nil {
+		t.Fatal(err)
+	}
+	err := old.Step(now.Add(time.Second))
+	if !IsStaleNodeEpoch(err) {
+		t.Fatalf("zombie step error = %v, want stale epoch", err)
+	}
+	if old.Mode() == SourcePolicy {
+		t.Error("fenced zombie still applying policy configs")
+	}
+
+	// Let the replacement's lease expire; its next step re-registers
+	// transparently (one degraded interval, then fresh policy again).
+	time.Sleep(60 * time.Millisecond)
+	if n := ctrl.ExpireLeases(time.Now()); n != 1 {
+		t.Fatalf("expired %d leases, want 1", n)
+	}
+	if got := ctrl.Counters().Get(CounterHeartbeatMisses); got != 1 {
+		t.Errorf("heartbeat misses = %d, want 1", got)
+	}
+	if err := repl.Step(now.Add(2 * time.Second)); !IsUnregisteredNode(err) {
+		t.Fatalf("post-expiry step error = %v, want unregistered", err)
+	}
+	if err := repl.Step(now.Add(3 * time.Second)); err != nil {
+		t.Fatalf("re-registered step: %v", err)
+	}
+	if repl.Mode() != SourcePolicy {
+		t.Errorf("post-re-register mode %q, want policy", repl.Mode())
+	}
+}
+
+// TestHotReload pins hot policy reload: a valid checkpoint swaps in
+// (version bump), a corrupt one is rejected loudly while serving
+// continues on the old policy.
+func TestHotReload(t *testing.T) {
+	dir := t.TempDir()
+	spec := testSpec(sla.NewEnergyEfficiency())
+	ctrl := startController(t, Config{
+		Spec:       spec,
+		PolicyPath: writePolicy(t, dir, spec, 4),
+	})
+	if v := ctrl.PolicyVersion(); v != 1 {
+		t.Fatalf("boot policy version %d, want 1", v)
+	}
+	if err := ctrl.ReloadPolicy(writePolicy(t, t.TempDir(), spec, 5)); err != nil {
+		t.Fatalf("valid reload: %v", err)
+	}
+	if v := ctrl.PolicyVersion(); v != 2 {
+		t.Fatalf("post-reload version %d, want 2", v)
+	}
+
+	// Corrupt checkpoint: flip bytes mid-blob.
+	bad := filepath.Join(dir, "bad.ckpt")
+	blob, err := os.ReadFile(filepath.Join(dir, "policy.ckpt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := len(blob) / 2; i < len(blob)/2+64 && i < len(blob); i++ {
+		blob[i] ^= 0xFF
+	}
+	if err := os.WriteFile(bad, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctrl.ReloadPolicy(bad); err == nil {
+		t.Fatal("corrupt reload accepted")
+	}
+	if v := ctrl.PolicyVersion(); v != 2 {
+		t.Errorf("corrupt reload changed version to %d", v)
+	}
+	// A dimension-mismatched (but decodable) checkpoint is rejected
+	// too.
+	other := testSpec(sla.NewEnergyEfficiency())
+	other.Chain = "light" // 2 NFs: different state/action dims
+	if err := ctrl.ReloadPolicy(writePolicy(t, t.TempDir(), other, 6)); err == nil {
+		t.Fatal("dimension-mismatched reload accepted")
+	}
+
+	// Serving still works after the rejected reloads.
+	agent, err := NewNodeAgent(NodeConfig{
+		NodeID: "node-a", ControllerAddr: ctrl.Addr(), Spec: spec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer agent.Close()
+	if err := agent.Step(time.Now()); err != nil {
+		t.Fatalf("serving after rejected reload: %v", err)
+	}
+}
+
+// TestControllerStatePersistence pins crash-safe state: a controller
+// restarted from its state file resumes the hot-reloaded policy
+// version and the fleet's last-known-good configs, and sweeps temp
+// droppings a crashed writer left behind.
+func TestControllerStatePersistence(t *testing.T) {
+	dir := t.TempDir()
+	spec := testSpec(sla.NewEnergyEfficiency())
+	statePath := filepath.Join(dir, "controller.state")
+	cfg := Config{
+		Spec:       spec,
+		PolicyPath: writePolicy(t, dir, spec, 7),
+		StatePath:  statePath,
+	}
+	ctrl := startController(t, cfg)
+	agent, err := NewNodeAgent(NodeConfig{
+		NodeID: "node-a", ControllerAddr: ctrl.Addr(), Spec: spec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer agent.Close()
+	if err := agent.Step(time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctrl.ReloadPolicy(writePolicy(t, t.TempDir(), spec, 8)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctrl.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a crashed writer's leftover temp next to the state.
+	if err := os.WriteFile(filepath.Join(dir, ".controller.state.tmp-999"), []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ctrl2, err := NewController(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctrl2.Close()
+	if v := ctrl2.PolicyVersion(); v != 2 {
+		t.Errorf("restarted version %d, want 2 (hot reload persisted)", v)
+	}
+	if ctrl2.lastGood["node-a"] == nil {
+		t.Error("restart lost node-a's last-known-good config")
+	}
+	if stray, _ := atomicio.StrayTemps(statePath); len(stray) != 0 {
+		t.Errorf("restart left stray temps: %v", stray)
+	}
+}

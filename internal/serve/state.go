@@ -1,0 +1,77 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"os"
+
+	"greennfv/internal/atomicio"
+	"greennfv/internal/perfmodel"
+)
+
+// stateMagic identifies (and versions) the controller state file.
+const stateMagic = "GNFVSRV1"
+
+// ControllerState is what a controller must remember across a crash:
+// the policy it is serving (hot reloads included, so a restart does
+// not silently revert to the boot checkpoint) and each node's
+// last-known-good configuration, the middle rung of the degradation
+// ladder.
+type ControllerState struct {
+	// PolicyBlob is the full ddpg.SaveState blob of the serving
+	// policy; PolicyVersion counts swaps (boot = 1).
+	PolicyBlob    []byte
+	PolicyVersion int
+	// LastGood maps node ID to the last guardrail-approved config the
+	// controller pushed to it.
+	LastGood map[string][]perfmodel.NFKnobs
+}
+
+// StateStore persists ControllerState at one path with atomicio
+// framing. The controller is the single writer; OpenStateStore sweeps
+// temp files a crashed predecessor left behind.
+type StateStore struct {
+	path string
+}
+
+// OpenStateStore prepares a store at path, sweeping stale temp files
+// from a crashed writer.
+func OpenStateStore(path string) (*StateStore, error) {
+	if path == "" {
+		return nil, fmt.Errorf("serve: empty state path")
+	}
+	if _, err := atomicio.Sweep(path); err != nil {
+		return nil, err
+	}
+	return &StateStore{path: path}, nil
+}
+
+// Save writes st atomically.
+func (s *StateStore) Save(st *ControllerState) error {
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(st); err != nil {
+		return fmt.Errorf("serve: encode state: %w", err)
+	}
+	if err := atomicio.WriteFile(s.path, stateMagic, payload.Bytes()); err != nil {
+		return fmt.Errorf("serve: state: %w", err)
+	}
+	return nil
+}
+
+// Load reads and validates the state file. A missing file returns
+// (nil, nil): a fresh controller with nothing to resume.
+func (s *StateStore) Load() (*ControllerState, error) {
+	if _, err := os.Stat(s.path); os.IsNotExist(err) {
+		return nil, nil
+	}
+	payload, err := atomicio.ReadFile(s.path, stateMagic)
+	if err != nil {
+		return nil, fmt.Errorf("serve: state: %w", err)
+	}
+	var st ControllerState
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&st); err != nil {
+		return nil, fmt.Errorf("serve: decode state: %w", err)
+	}
+	return &st, nil
+}

@@ -1,0 +1,86 @@
+package stats
+
+import "sync"
+
+// Counters is a named-counter set for operational event counting —
+// the serving control plane uses one per process for its health
+// ledger (configs pushed, fallback activations, guardrail rejections,
+// heartbeat misses). Unlike the measurement types in this package it
+// IS goroutine-safe: RPC handlers, the serving loop and health
+// monitors all bump it concurrently.
+//
+// Names are registered implicitly on first Add; Snapshot returns a
+// deterministic (sorted-key) copy so tests and log lines are stable.
+type Counters struct {
+	mu sync.Mutex
+	m  map[string]int64
+	// keys caches the sorted name set; rebuilt only when a new name
+	// appears, so Snapshot stays allocation-cheap at steady state.
+	keys []string
+}
+
+// NewCounters returns an empty counter set.
+func NewCounters() *Counters {
+	return &Counters{m: make(map[string]int64)}
+}
+
+// Add bumps name by delta (which may be negative) and returns the new
+// value.
+func (c *Counters) Add(name string, delta int64) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.m[name]; !ok {
+		c.keys = insertSorted(c.keys, name)
+	}
+	c.m[name] += delta
+	return c.m[name]
+}
+
+// Inc bumps name by one and returns the new value.
+func (c *Counters) Inc(name string) int64 { return c.Add(name, 1) }
+
+// Get returns the current value of name (zero if never bumped).
+func (c *Counters) Get(name string) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.m[name]
+}
+
+// Names returns the registered names in sorted order.
+func (c *Counters) Names() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, len(c.keys))
+	copy(out, c.keys)
+	return out
+}
+
+// Snapshot returns a consistent copy of all counters. Iterating the
+// map is non-deterministic; callers that need order pair it with
+// Names.
+func (c *Counters) Snapshot() map[string]int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]int64, len(c.m))
+	for k, v := range c.m {
+		out[k] = v
+	}
+	return out
+}
+
+// insertSorted inserts name into the sorted slice keys.
+func insertSorted(keys []string, name string) []string {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if keys[mid] < name {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	keys = append(keys, "")
+	copy(keys[lo+1:], keys[lo:])
+	keys[lo] = name
+	return keys
+}

@@ -1,0 +1,59 @@
+package stats
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestCountersBasics(t *testing.T) {
+	c := NewCounters()
+	if got := c.Get("missing"); got != 0 {
+		t.Errorf("Get of unregistered name = %d, want 0", got)
+	}
+	if got := c.Inc("b"); got != 1 {
+		t.Errorf("first Inc = %d, want 1", got)
+	}
+	c.Add("a", 5)
+	c.Add("c", -2)
+	c.Inc("b")
+	if got := c.Get("b"); got != 2 {
+		t.Errorf("b = %d, want 2", got)
+	}
+	if got := c.Names(); !reflect.DeepEqual(got, []string{"a", "b", "c"}) {
+		t.Errorf("Names = %v, want sorted [a b c]", got)
+	}
+	want := map[string]int64{"a": 5, "b": 2, "c": -2}
+	if got := c.Snapshot(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Snapshot = %v, want %v", got, want)
+	}
+	// Snapshot is a copy, not a view.
+	c.Snapshot()["a"] = 99
+	if got := c.Get("a"); got != 5 {
+		t.Errorf("snapshot mutation leaked: a = %d", got)
+	}
+}
+
+func TestCountersConcurrent(t *testing.T) {
+	c := NewCounters()
+	const workers, bumps = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			names := []string{"pushed", "fallback", "rejected", "missed"}
+			for i := 0; i < bumps; i++ {
+				c.Inc(names[(w+i)%len(names)])
+			}
+		}(w)
+	}
+	wg.Wait()
+	total := int64(0)
+	for _, n := range c.Names() {
+		total += c.Get(n)
+	}
+	if total != workers*bumps {
+		t.Errorf("lost updates: total %d, want %d", total, workers*bumps)
+	}
+}

@@ -1,17 +1,19 @@
 #!/bin/sh
-# checkdocs.sh asserts that every package under internal/ (and the
-# root package) carries a package comment — the architecture contract
-# this repo documents in per-package doc.go files. CI runs this after
-# gofmt; it fails listing the undocumented packages.
+# checkdocs.sh asserts that every package under internal/ and cmd/
+# (and the root package) carries a package comment — the architecture
+# contract this repo documents in per-package doc.go files; commands
+# document themselves with a "// Command <name> ..." comment on main.
+# CI runs this after gofmt; it fails listing the undocumented
+# packages.
 set -eu
 cd "$(dirname "$0")/.."
 
 fail=0
-for dir in $(go list -f '{{.Dir}}' ./internal/... ./); do
+for dir in $(go list -f '{{.Dir}}' ./internal/... ./cmd/... ./); do
     ok=0
     for f in "$dir"/*.go; do
         case "$f" in *_test.go) continue ;; esac
-        if grep -q '^// Package ' "$f"; then
+        if grep -q '^// \(Package\|Command\) ' "$f"; then
             ok=1
             break
         fi
@@ -22,7 +24,7 @@ for dir in $(go list -f '{{.Dir}}' ./internal/... ./); do
     fi
 done
 if [ "$fail" -ne 0 ]; then
-    echo "checkdocs: add a package comment (ideally a doc.go) to the packages above" >&2
+    echo "checkdocs: add a package comment (doc.go, or '// Command ...' for a cmd) to the packages above" >&2
     exit 1
 fi
-echo "checkdocs: every internal package has a package comment"
+echo "checkdocs: every internal and cmd package has a package comment"
