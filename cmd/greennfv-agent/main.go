@@ -21,6 +21,8 @@ import (
 	"encoding/json"
 	"flag"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -28,6 +30,7 @@ import (
 
 	"greennfv/internal/rl/apex"
 	"greennfv/internal/serve"
+	"greennfv/internal/stats"
 )
 
 func main() {
@@ -41,6 +44,7 @@ func main() {
 	rank := flag.Int("rank", 0, "node rank (seeds this node's traffic process)")
 	interval := flag.Duration("interval", time.Second, "control interval")
 	stale := flag.Duration("stale", 30*time.Second, "distrust last-known-good configs older than this")
+	metricsAddr := flag.String("metrics", "127.0.0.1:9465", "Prometheus /metrics listen address (empty disables)")
 	flag.Parse()
 
 	if *specPath == "" {
@@ -62,6 +66,19 @@ func main() {
 	}
 	defer agent.Close()
 	log.Printf("node %q reporting to %s every %v", *nodeID, *controller, *interval)
+
+	if *metricsAddr != "" {
+		reg := stats.NewRegistry()
+		agent.RegisterMetrics(reg)
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			log.Fatalf("metrics listener: %v", err)
+		}
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", reg)
+		go http.Serve(ln, mux)
+		log.Printf("metrics on http://%s/metrics", ln.Addr())
+	}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)

@@ -23,6 +23,8 @@ import (
 	"encoding/json"
 	"flag"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -30,6 +32,7 @@ import (
 
 	"greennfv/internal/rl/apex"
 	"greennfv/internal/serve"
+	"greennfv/internal/stats"
 )
 
 func main() {
@@ -40,6 +43,7 @@ func main() {
 	policyPath := flag.String("policy", "", "policy checkpoint to serve (greennfv -save-policy format)")
 	statePath := flag.String("state", "", "crash-safe controller state file (optional)")
 	listen := flag.String("listen", "127.0.0.1:7070", "RPC listen address")
+	metricsAddr := flag.String("metrics", "127.0.0.1:9464", "Prometheus /metrics listen address (empty disables)")
 	lease := flag.Duration("lease", 10*time.Second, "node lease window; silent nodes re-register")
 	flag.Parse()
 
@@ -63,6 +67,14 @@ func main() {
 		log.Fatal(err)
 	}
 	log.Printf("serving policy v%d on %s (lease window %v)", ctrl.PolicyVersion(), ctrl.Addr(), *lease)
+
+	if *metricsAddr != "" {
+		reg := stats.NewRegistry()
+		ctrl.RegisterMetrics(reg)
+		if err := serveMetrics(*metricsAddr, reg); err != nil {
+			log.Fatalf("metrics listener: %v", err)
+		}
+	}
 
 	hup := make(chan os.Signal, 1)
 	signal.Notify(hup, syscall.SIGHUP)
@@ -98,6 +110,19 @@ func main() {
 			return
 		}
 	}
+}
+
+// serveMetrics exposes reg at /metrics on addr in the background.
+func serveMetrics(addr string, reg *stats.Registry) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg)
+	go http.Serve(ln, mux)
+	log.Printf("metrics on http://%s/metrics", ln.Addr())
+	return nil
 }
 
 // readSpec loads the node spec. Only the environment half matters for

@@ -92,6 +92,15 @@ func Serve(name string, rcvr any, addr string) (*Server, error) {
 // Addr reports the listening address.
 func (s *Server) Addr() string { return s.listener.Addr().String() }
 
+// ConnCount reports the number of currently open client connections.
+// Safe to call concurrently with serving; metrics endpoints poll it
+// as a gauge.
+func (s *Server) ConnCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.conns)
+}
+
 // Close stops accepting connections, disconnects the remaining
 // clients, and waits for in-flight handlers.
 func (s *Server) Close() error {

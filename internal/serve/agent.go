@@ -3,6 +3,7 @@ package serve
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"greennfv/internal/control"
@@ -59,6 +60,11 @@ type NodeAgent struct {
 	mode        string
 	result      perfmodel.Result
 	obs         []float64
+
+	// policyVersion is the controller's policy version as of the last
+	// successful contact. Atomic: the metrics endpoint reads it while
+	// the serving loop writes it.
+	policyVersion atomic.Int64
 }
 
 // NewNodeAgent builds the agent and its local environment.
@@ -109,6 +115,21 @@ func (a *NodeAgent) Counters() *stats.Counters { return a.counters }
 // through it).
 func (a *NodeAgent) Env() *env.Env { return a.env }
 
+// PolicyVersion reports the controller's policy version as of the
+// last successful contact (0 before the first register). Safe to read
+// concurrently with the serving loop.
+func (a *NodeAgent) PolicyVersion() int { return int(a.policyVersion.Load()) }
+
+// RegisterMetrics exposes the agent on a Prometheus registry: every
+// serving counter as `greennfv_agent_<name>_total` plus the
+// last-observed policy-version gauge.
+func (a *NodeAgent) RegisterMetrics(reg *stats.Registry) {
+	reg.RegisterCounterSet("greennfv_agent", "Node-agent serving events.", a.counters)
+	reg.RegisterGauge("greennfv_agent_policy_version",
+		"Controller policy version at last successful contact.",
+		func() float64 { return float64(a.policyVersion.Load()) })
+}
+
 // Close releases the controller connection.
 func (a *NodeAgent) Close() error {
 	a.dropConn()
@@ -144,6 +165,7 @@ func (a *NodeAgent) ensureRegistered() error {
 	}
 	a.epoch = reply.Epoch
 	a.registered = true
+	a.policyVersion.Store(int64(reply.PolicyVersion))
 	return nil
 }
 
@@ -208,6 +230,7 @@ func (a *NodeAgent) stepRemote(now time.Time, tr perfmodel.Traffic) error {
 		return err
 	}
 	a.lastContact = now
+	a.policyVersion.Store(int64(reply.PolicyVersion))
 	if reply.Hold {
 		return errors.New("serve: controller held")
 	}

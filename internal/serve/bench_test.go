@@ -1,0 +1,86 @@
+package serve
+
+// BenchmarkControllerReport measures the report fast path — the
+// operation whose cost bounds fleet size. The serial case is the
+// single-caller floor; the parallel cases show how lock striping, the
+// atomic policy snapshot, and pooled inference scratch let many nodes
+// report concurrently. Tracked in BENCH.json by the CI bench lane.
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"greennfv/internal/sla"
+)
+
+// benchFleet builds a controller with nodes registered nodes plus the
+// matching per-node observation/traffic fixtures.
+func benchFleet(b *testing.B, nodes int) (*Controller, []*simNode) {
+	b.Helper()
+	dir := b.TempDir()
+	spec := testSpec(sla.NewEnergyEfficiency())
+	ctrl, err := NewController(Config{
+		Spec:       spec,
+		PolicyPath: writePolicy(b, dir, spec, 17),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sims := make([]*simNode, nodes)
+	for i := range sims {
+		sims[i] = newSimNode(b, spec, i)
+		if err := sims[i].register(ctrl); err != nil {
+			b.Fatal(err)
+		}
+		// One priming step so every node reports from steady state.
+		if _, err := sims[i].step(ctrl); err != nil {
+			b.Fatal(err)
+		}
+		sims[i].env.ObserveInto(sims[i].obs)
+	}
+	return ctrl, sims
+}
+
+// reportOnce drives one Controller.Report for node n without advancing
+// the env (pure controller-side work, so the benchmark isolates the
+// serving path from the simulated dataplane).
+func reportOnce(c *Controller, n *simNode, reply *ReportReply) error {
+	*reply = ReportReply{}
+	return c.report(&ReportArgs{
+		NodeID:  n.id,
+		Epoch:   n.epoch,
+		Obs:     n.obs,
+		Traffic: n.env.LastTraffic(),
+	}, reply)
+}
+
+func BenchmarkControllerReport(b *testing.B) {
+	b.Run("serial/nodes=1", func(b *testing.B) {
+		ctrl, sims := benchFleet(b, 1)
+		var reply ReportReply
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := reportOnce(ctrl, sims[0], &reply); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, nodes := range []int{8, 32} {
+		b.Run(fmt.Sprintf("parallel/nodes=%d", nodes), func(b *testing.B) {
+			ctrl, sims := benchFleet(b, nodes)
+			var next atomic.Uint64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				n := sims[int(next.Add(1)-1)%nodes]
+				var reply ReportReply
+				for pb.Next() {
+					if err := reportOnce(ctrl, n, &reply); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+		})
+	}
+}

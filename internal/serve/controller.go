@@ -3,8 +3,10 @@ package serve
 import (
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"greennfv/internal/env"
@@ -18,18 +20,39 @@ import (
 // Serving counter names (stats.Counters keys), shared by controller
 // and agent ledgers.
 const (
-	// CounterConfigsPushed counts vetted configurations emitted.
+	// CounterConfigsPushed counts vetted configurations emitted. It is
+	// conserved against the per-source counters:
+	// configs_pushed = configs_source_policy + configs_source_last_good.
 	CounterConfigsPushed = "configs_pushed"
-	// CounterFallbackActivations counts drops down the degradation
-	// ladder (any rung below fresh policy).
+	// CounterFallbackActivations counts intervals where the node
+	// actually left the vetted-config path: controller-side a Hold
+	// reply (nothing survived the guardrail), agent-side a descent
+	// into the local ladder. A last-known-good recovery is NOT a
+	// fallback — the node never left vetted configs.
 	CounterFallbackActivations = "fallback_activations"
 	// CounterGuardrailRejections counts proposals the guardrail
-	// refused.
+	// refused, one per rejected proposal (a report whose policy AND
+	// last-known-good rungs both fail counts twice).
 	CounterGuardrailRejections = "guardrail_rejections"
 	// CounterHeartbeatMisses counts lease expiries (controller) or
 	// failed report calls (agent).
 	CounterHeartbeatMisses = "heartbeat_misses"
+	// CounterStatePersistErrors counts failed controller-state writes
+	// (serving continues; the next state change retries).
+	CounterStatePersistErrors = "state_persist_errors"
+	// CounterSourcePolicy, CounterSourceLastGood and CounterSourceHold
+	// count report replies by the ladder rung that produced them.
+	CounterSourcePolicy   = "configs_source_policy"
+	CounterSourceLastGood = "configs_source_last_good"
+	CounterSourceHold     = "configs_source_hold"
 )
+
+// numShards is the lock-striping factor for per-node state. Node IDs
+// hash onto shards, so with fleets well past numShards the expected
+// map-lock collision rate stays low; the per-node record mutex (not
+// the shard lock) guards the report decision itself, so even
+// same-shard nodes only contend for the map lookup.
+const numShards = 32
 
 // Config assembles a Controller.
 type Config struct {
@@ -49,39 +72,83 @@ type Config struct {
 	LeaseWindow time.Duration
 	// NewLimiter builds each node's rate limiter (nil: DefaultLimiter).
 	NewLimiter func() *Limiter
+	// Now injects the controller clock used for lease stamps and
+	// report-latency measurement (nil: time.Now). Tests drive it so
+	// lease expiry is deterministic instead of sleep-based.
+	Now func() time.Time
 }
 
 // nodeRec is the controller's per-node record: lease, heartbeat,
-// limiter baseline.
+// limiter baseline. Its own mutex guards the serving decision, so
+// reports from different nodes never contend — not even within one
+// shard.
 type nodeRec struct {
+	mu         sync.Mutex
 	epoch      uint64
 	registered bool
 	lastReport time.Time
 	limiter    *Limiter
 }
 
+// shard is one lock stripe of the fleet: the node-record map and the
+// last-known-good store for the node IDs that hash here. shard.mu
+// guards only the maps (lookups, membership, lastGood swaps); it is
+// never held across a policy decision.
+type shard struct {
+	mu       sync.Mutex
+	nodes    map[string]*nodeRec
+	lastGood map[string][]perfmodel.NFKnobs
+}
+
+// policySnapshot is the immutable serving policy: reports load it
+// with one atomic read, reload/persist swap it on the writer path.
+type policySnapshot struct {
+	blob    []byte
+	version int
+}
+
+// reportScratch is one in-flight report's private inference state: a
+// read-only actor replica (ddpg.Agent.ActInto shares per-network
+// forward scratch, so concurrent reports need distinct replicas), the
+// action/knob decode buffers, and a guardrail (whose prediction
+// scratch is equally single-owner). Pooled; a replica older than the
+// current policy snapshot is rebuilt lazily on checkout.
+type reportScratch struct {
+	version int
+	agent   *ddpg.Agent
+	action  []float64
+	knobs   []perfmodel.NFKnobs
+	guard   Guardrail
+}
+
 // Controller is the serving-plane brain: it holds the policy, leases
 // the fleet, and turns node observations into vetted knob configs.
-// All methods are goroutine-safe (RPC handlers, the lease sweeper and
-// hot reloads serialize on one mutex).
+// All methods are goroutine-safe. The report path is built for
+// many-node fleets: per-node state lives in lock-striped shards, the
+// policy behind an atomically-swapped immutable snapshot, and each
+// in-flight report runs on pooled private scratch — so concurrent
+// reports from different nodes share no locks and no buffers.
 type Controller struct {
 	cfg      Config
 	counters *stats.Counters
+	probe    *env.Env // decodes actions, sizes buffers; never stepped
 
-	mu            sync.Mutex
-	agent         *ddpg.Agent
-	policyBlob    []byte
-	policyVersion int
-	probe         *env.Env // decodes actions; never stepped
-	guard         Guardrail
-	action        []float64
-	knobs         []perfmodel.NFKnobs
-	nodes         map[string]*nodeRec
-	lastGood      map[string][]perfmodel.NFKnobs
-	nextEpoch     uint64
-	store         *StateStore
+	policy    atomic.Pointer[policySnapshot]
+	scratch   sync.Pool // *reportScratch
+	shards    [numShards]shard
+	nextEpoch atomic.Uint64
 
-	srv *rpcutil.Server
+	reportLatency *stats.PromHistogram
+
+	// persistMu serializes state writes; reloadMu serializes policy
+	// swaps (so concurrent reloads cannot race the version bump).
+	// Neither is ever held while a nodeRec mutex is wanted.
+	persistMu sync.Mutex
+	reloadMu  sync.Mutex
+	store     stateStore
+
+	srvMu sync.Mutex
+	srv   *rpcutil.Server
 }
 
 // NewController builds a controller: policy loaded and validated
@@ -98,19 +165,14 @@ func NewController(cfg Config) (*Controller, error) {
 		return nil, fmt.Errorf("serve: node spec: %w", err)
 	}
 	c := &Controller{
-		cfg:      cfg,
-		counters: stats.NewCounters(),
-		probe:    probe,
-		guard: Guardrail{
-			Model:  perfmodel.Default(),
-			Chain:  probe.Chain(),
-			Bounds: probe.Bounds(),
-			SLA:    probe.SLA(),
-		},
-		action:   make([]float64, probe.ActionDim()),
-		knobs:    make([]perfmodel.NFKnobs, probe.NumNFs()),
-		nodes:    make(map[string]*nodeRec),
-		lastGood: make(map[string][]perfmodel.NFKnobs),
+		cfg:           cfg,
+		counters:      stats.NewCounters(),
+		probe:         probe,
+		reportLatency: stats.NewPromHistogram(stats.DefLatencyBuckets),
+	}
+	for i := range c.shards {
+		c.shards[i].nodes = make(map[string]*nodeRec)
+		c.shards[i].lastGood = make(map[string][]perfmodel.NFKnobs)
 	}
 
 	var resumed *ControllerState
@@ -126,30 +188,42 @@ func NewController(cfg Config) (*Controller, error) {
 	}
 	switch {
 	case resumed != nil:
-		agent, err := c.validatePolicy(resumed.PolicyBlob)
-		if err != nil {
+		if _, err := c.validatePolicy(resumed.PolicyBlob); err != nil {
 			return nil, fmt.Errorf("serve: persisted policy: %w", err)
 		}
-		c.agent, c.policyBlob = agent, resumed.PolicyBlob
-		c.policyVersion = resumed.PolicyVersion
+		c.policy.Store(&policySnapshot{blob: resumed.PolicyBlob, version: resumed.PolicyVersion})
 		for id, ks := range resumed.LastGood {
-			c.lastGood[id] = ks
+			sh := c.shardFor(id)
+			sh.lastGood[id] = ks
 		}
 	case cfg.PolicyPath != "":
 		blob, err := os.ReadFile(cfg.PolicyPath)
 		if err != nil {
 			return nil, fmt.Errorf("serve: read policy: %w", err)
 		}
-		agent, err := c.validatePolicy(blob)
-		if err != nil {
+		if _, err := c.validatePolicy(blob); err != nil {
 			return nil, err
 		}
-		c.agent, c.policyBlob = agent, blob
-		c.policyVersion = 1
+		c.policy.Store(&policySnapshot{blob: blob, version: 1})
 	default:
 		return nil, errors.New("serve: controller needs a policy (PolicyPath or persisted state)")
 	}
 	return c, nil
+}
+
+// now reads the injected clock (time.Now by default).
+func (c *Controller) now() time.Time {
+	if c.cfg.Now != nil {
+		return c.cfg.Now()
+	}
+	return time.Now()
+}
+
+// shardFor maps a node ID onto its lock stripe (FNV-1a).
+func (c *Controller) shardFor(nodeID string) *shard {
+	h := fnv.New32a()
+	h.Write([]byte(nodeID))
+	return &c.shards[h.Sum32()%numShards]
 }
 
 // validatePolicy decodes a policy blob and checks its dimensions
@@ -168,6 +242,33 @@ func (c *Controller) validatePolicy(blob []byte) (*ddpg.Agent, error) {
 	return agent, nil
 }
 
+// getScratch checks out pooled report scratch whose actor replica
+// matches snap, rebuilding the replica only when a reload made it
+// stale (the blob was validated when the snapshot was installed).
+func (c *Controller) getScratch(snap *policySnapshot) (*reportScratch, error) {
+	sc, _ := c.scratch.Get().(*reportScratch)
+	if sc == nil {
+		sc = &reportScratch{
+			action: make([]float64, c.probe.ActionDim()),
+			knobs:  make([]perfmodel.NFKnobs, c.probe.NumNFs()),
+			guard: Guardrail{
+				Model:  perfmodel.Default(),
+				Chain:  c.probe.Chain(),
+				Bounds: c.probe.Bounds(),
+				SLA:    c.probe.SLA(),
+			},
+		}
+	}
+	if sc.agent == nil || sc.version != snap.version {
+		agent, err := ddpg.LoadAgentBytes(snap.blob)
+		if err != nil {
+			return nil, fmt.Errorf("serve: policy replica: %w", err)
+		}
+		sc.agent, sc.version = agent, snap.version
+	}
+	return sc, nil
+}
+
 // Start serves the controller RPC on addr (e.g. "127.0.0.1:7070";
 // ":0" for an ephemeral port).
 func (c *Controller) Start(addr string) error {
@@ -175,16 +276,16 @@ func (c *Controller) Start(addr string) error {
 	if err != nil {
 		return err
 	}
-	c.mu.Lock()
+	c.srvMu.Lock()
 	c.srv = srv
-	c.mu.Unlock()
+	c.srvMu.Unlock()
 	return nil
 }
 
 // Addr reports the RPC listen address (after Start).
 func (c *Controller) Addr() string {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.srvMu.Lock()
+	defer c.srvMu.Unlock()
 	if c.srv == nil {
 		return ""
 	}
@@ -194,11 +295,11 @@ func (c *Controller) Addr() string {
 // Close persists state and stops the RPC server. Agents surviving the
 // controller degrade locally and re-register when it returns.
 func (c *Controller) Close() error {
-	c.mu.Lock()
+	c.srvMu.Lock()
 	srv := c.srv
 	c.srv = nil
-	err := c.persistLocked()
-	c.mu.Unlock()
+	c.srvMu.Unlock()
+	err := c.persist()
 	if srv != nil {
 		if cerr := srv.Close(); err == nil {
 			err = cerr
@@ -213,29 +314,88 @@ func (c *Controller) Counters() *stats.Counters { return c.counters }
 // PolicyVersion reports the serving policy version (bumped by every
 // successful reload).
 func (c *Controller) PolicyVersion() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.policyVersion
+	return c.policy.Load().version
+}
+
+// RegisteredNodes counts the nodes currently holding a live lease.
+func (c *Controller) RegisteredNodes() int {
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		recs := make([]*nodeRec, 0, len(sh.nodes))
+		for _, rec := range sh.nodes {
+			recs = append(recs, rec)
+		}
+		sh.mu.Unlock()
+		for _, rec := range recs {
+			rec.mu.Lock()
+			if rec.registered {
+				n++
+			}
+			rec.mu.Unlock()
+		}
+	}
+	return n
+}
+
+// LastGood returns a copy of a node's last-known-good configuration
+// (nil if none recorded).
+func (c *Controller) LastGood(nodeID string) []perfmodel.NFKnobs {
+	sh := c.shardFor(nodeID)
+	sh.mu.Lock()
+	lg := sh.lastGood[nodeID]
+	sh.mu.Unlock()
+	if lg == nil {
+		return nil
+	}
+	return append([]perfmodel.NFKnobs(nil), lg...)
+}
+
+// RegisterMetrics exposes the controller on a Prometheus registry:
+// every serving counter as `greennfv_serve_<name>_total`, the
+// registered-node and policy-version gauges, and the report-latency
+// histogram.
+func (c *Controller) RegisterMetrics(reg *stats.Registry) {
+	reg.RegisterCounterSet("greennfv_serve", "Serving control-plane events.", c.counters)
+	reg.RegisterGauge("greennfv_serve_registered_nodes",
+		"Nodes currently holding a live lease.",
+		func() float64 { return float64(c.RegisteredNodes()) })
+	reg.RegisterGauge("greennfv_serve_policy_version",
+		"Serving policy version (bumped by every hot reload).",
+		func() float64 { return float64(c.PolicyVersion()) })
+	reg.RegisterGauge("greennfv_serve_open_connections",
+		"Open agent RPC connections (0 until Start).",
+		func() float64 {
+			c.srvMu.Lock()
+			defer c.srvMu.Unlock()
+			if c.srv == nil {
+				return 0
+			}
+			return float64(c.srv.ConnCount())
+		})
+	reg.RegisterHistogram("greennfv_serve_report_latency_seconds",
+		"Report decision latency (lease check through reply).", c.reportLatency)
 }
 
 // ReloadPolicy hot-swaps the serving policy from a checkpoint file:
-// the blob is read and fully validated first, then swapped atomically
-// under the serving lock. A corrupt or mismatched checkpoint is
-// rejected loudly and the current policy keeps serving untouched.
+// the blob is read and fully validated first, then swapped in as a
+// new immutable snapshot — in-flight reports finish on the snapshot
+// they loaded; later reports see the new one. A corrupt or mismatched
+// checkpoint is rejected loudly and the current policy keeps serving
+// untouched.
 func (c *Controller) ReloadPolicy(path string) error {
 	blob, err := os.ReadFile(path)
 	if err != nil {
 		return fmt.Errorf("serve: reload policy: %w", err)
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	agent, err := c.validatePolicy(blob)
-	if err != nil {
+	if _, err := c.validatePolicy(blob); err != nil {
 		return fmt.Errorf("serve: reload rejected: %w", err)
 	}
-	c.agent, c.policyBlob = agent, blob
-	c.policyVersion++
-	return c.persistLocked()
+	c.reloadMu.Lock()
+	c.policy.Store(&policySnapshot{blob: blob, version: c.policy.Load().version + 1})
+	c.reloadMu.Unlock()
+	return c.persist()
 }
 
 // ExpireLeases revokes the lease of every node that has not reported
@@ -244,16 +404,25 @@ func (c *Controller) ReloadPolicy(path string) error {
 // an expired node's next report fails with ErrUnregisteredNode and it
 // re-registers transparently.
 func (c *Controller) ExpireLeases(now time.Time) int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	expired := 0
 	cutoff := now.Add(-c.cfg.LeaseWindow)
-	for _, rec := range c.nodes {
-		if rec.registered && rec.lastReport.Before(cutoff) {
-			rec.registered = false
-			rec.limiter.Reset()
-			c.counters.Inc(CounterHeartbeatMisses)
-			expired++
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		recs := make([]*nodeRec, 0, len(sh.nodes))
+		for _, rec := range sh.nodes {
+			recs = append(recs, rec)
+		}
+		sh.mu.Unlock()
+		for _, rec := range recs {
+			rec.mu.Lock()
+			if rec.registered && rec.lastReport.Before(cutoff) {
+				rec.registered = false
+				rec.limiter.Reset()
+				c.counters.Inc(CounterHeartbeatMisses)
+				expired++
+			}
+			rec.mu.Unlock()
 		}
 	}
 	return expired
@@ -264,87 +433,122 @@ func (c *Controller) register(args *RegisterNodeArgs, reply *RegisterNodeReply) 
 	if args.NodeID == "" {
 		return errors.New("serve: empty node ID")
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	rec, ok := c.nodes[args.NodeID]
+	sh := c.shardFor(args.NodeID)
+	sh.mu.Lock()
+	rec, ok := sh.nodes[args.NodeID]
 	if !ok {
 		rec = &nodeRec{limiter: c.cfg.NewLimiter()}
-		c.nodes[args.NodeID] = rec
+		sh.nodes[args.NodeID] = rec
 	}
+	sh.mu.Unlock()
+	rec.mu.Lock()
 	rec.registered = true
-	c.nextEpoch++
-	rec.epoch = c.nextEpoch
-	rec.lastReport = time.Now()
+	// Allocated under rec.mu so concurrent registrations for the same
+	// node leave the record fenced to the LAST registration's epoch.
+	rec.epoch = c.nextEpoch.Add(1)
+	rec.lastReport = c.now()
 	rec.limiter.Reset()
 	reply.Epoch = rec.epoch
-	reply.PolicyVersion = c.policyVersion
+	rec.mu.Unlock()
+	reply.PolicyVersion = c.PolicyVersion()
 	return nil
 }
 
 // report implements the Report RPC: lease check, policy decision,
-// limiter, guardrail, ladder.
+// limiter, guardrail, ladder. Reports from different nodes run
+// concurrently end to end; reports from the same node serialize on
+// its record.
 func (c *Controller) report(args *ReportArgs, reply *ReportReply) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	rec, ok := c.nodes[args.NodeID]
-	if !ok || !rec.registered {
+	start := c.now()
+	sh := c.shardFor(args.NodeID)
+	sh.mu.Lock()
+	rec := sh.nodes[args.NodeID]
+	sh.mu.Unlock()
+	if rec == nil {
+		return fmt.Errorf("%w %q: register first", ErrUnregisteredNode, args.NodeID)
+	}
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	if !rec.registered {
 		return fmt.Errorf("%w %q: register first", ErrUnregisteredNode, args.NodeID)
 	}
 	if args.Epoch != rec.epoch {
 		return fmt.Errorf("%w: node %q epoch %d superseded by %d",
 			ErrStaleNodeEpoch, args.NodeID, args.Epoch, rec.epoch)
 	}
-	rec.lastReport = time.Now()
+	rec.lastReport = start
 	if len(args.Obs) != c.probe.StateDim() {
 		return fmt.Errorf("serve: observation dim %d, want %d", len(args.Obs), c.probe.StateDim())
 	}
 	if args.Traffic.OfferedPPS <= 0 {
 		return fmt.Errorf("serve: report carries no traffic")
 	}
-	reply.PolicyVersion = c.policyVersion
+	snap := c.policy.Load()
+	reply.PolicyVersion = snap.version
+	sc, err := c.getScratch(snap)
+	if err != nil {
+		return err
+	}
+	defer c.scratch.Put(sc)
 
 	// Rung 1: fresh policy decision, rate-limited then vetted.
-	if err := c.agent.ActInto(args.Obs, false, c.action); err != nil {
+	if err := sc.agent.ActInto(args.Obs, false, sc.action); err != nil {
 		return fmt.Errorf("serve: policy action: %w", err)
 	}
-	for i := range c.knobs {
-		c.knobs[i] = c.probe.DecodeAction(c.action[i*env.KnobsPerNF : (i+1)*env.KnobsPerNF])
+	for i := range sc.knobs {
+		sc.knobs[i] = c.probe.DecodeAction(sc.action[i*env.KnobsPerNF : (i+1)*env.KnobsPerNF])
 	}
-	limited := rec.limiter.Limit(c.knobs)
-	if _, err := c.guard.Check(limited, args.Traffic); err == nil {
+	limited := rec.limiter.Limit(sc.knobs)
+	if _, err := sc.guard.Check(limited, args.Traffic); err == nil {
 		reply.Config = append([]perfmodel.NFKnobs(nil), limited...)
 		reply.Source = SourcePolicy
 		rec.limiter.Record(limited)
-		c.recordLastGoodLocked(args.NodeID, limited)
+		c.recordLastGood(args.NodeID, limited)
 		c.counters.Inc(CounterConfigsPushed)
+		c.counters.Inc(CounterSourcePolicy)
+		c.reportLatency.Observe(c.now().Sub(start).Seconds())
 		return nil
 	}
 	c.counters.Inc(CounterGuardrailRejections)
-	c.counters.Inc(CounterFallbackActivations)
 
 	// Rung 2: last-known-good, re-vetted under the node's current
-	// traffic.
-	if lg := c.lastGood[args.NodeID]; lg != nil {
-		if _, err := c.guard.Check(lg, args.Traffic); err == nil {
+	// traffic. A recovery here keeps the node on vetted configs, so it
+	// is counted as a push, not a fallback.
+	sh.mu.Lock()
+	lg := sh.lastGood[args.NodeID]
+	sh.mu.Unlock()
+	if lg != nil {
+		if _, err := sc.guard.Check(lg, args.Traffic); err == nil {
 			reply.Config = append([]perfmodel.NFKnobs(nil), lg...)
 			reply.Source = SourceLastGood
 			rec.limiter.Record(lg)
 			c.counters.Inc(CounterConfigsPushed)
+			c.counters.Inc(CounterSourceLastGood)
+			c.reportLatency.Observe(c.now().Sub(start).Seconds())
 			return nil
 		}
+		c.counters.Inc(CounterGuardrailRejections)
 	}
 
 	// Nothing approved: the node holds its configuration and walks its
-	// own ladder (heuristic rung runs agent-side, on the real env).
+	// own ladder (heuristic rung runs agent-side, on the real env) —
+	// the only controller-side outcome that is a fallback.
 	reply.Hold = true
 	reply.Source = SourceHold
+	c.counters.Inc(CounterSourceHold)
+	c.counters.Inc(CounterFallbackActivations)
+	c.reportLatency.Observe(c.now().Sub(start).Seconds())
 	return nil
 }
 
-// recordLastGoodLocked stores a vetted config as the node's
-// last-known-good and persists if it changed. Caller holds mu.
-func (c *Controller) recordLastGoodLocked(nodeID string, ks []perfmodel.NFKnobs) {
-	prev := c.lastGood[nodeID]
+// recordLastGood stores a vetted config as the node's last-known-good
+// and persists if it changed. Called with the node's rec.mu held;
+// takes only the shard map lock (never another node's record), so the
+// persist path cannot deadlock two concurrent reports.
+func (c *Controller) recordLastGood(nodeID string, ks []perfmodel.NFKnobs) {
+	sh := c.shardFor(nodeID)
+	sh.mu.Lock()
+	prev := sh.lastGood[nodeID]
 	same := len(prev) == len(ks)
 	if same {
 		for i := range ks {
@@ -354,30 +558,42 @@ func (c *Controller) recordLastGoodLocked(nodeID string, ks []perfmodel.NFKnobs)
 			}
 		}
 	}
+	if !same {
+		sh.lastGood[nodeID] = append([]perfmodel.NFKnobs(nil), ks...)
+	}
+	sh.mu.Unlock()
 	if same {
 		return
 	}
-	c.lastGood[nodeID] = append([]perfmodel.NFKnobs(nil), ks...)
-	if err := c.persistLocked(); err != nil {
+	if err := c.persist(); err != nil {
 		// Persistence failure must not take down serving; the ledger
 		// records it and the next change retries.
-		c.counters.Inc("state_persist_errors")
+		c.counters.Inc(CounterStatePersistErrors)
 	}
 }
 
-// persistLocked writes controller state through the store (no-op
-// without one). Caller holds mu.
-func (c *Controller) persistLocked() error {
+// persist writes controller state through the store (no-op without
+// one). Writers serialize on persistMu; the fleet's last-known-good
+// view is collected shard by shard.
+func (c *Controller) persist() error {
 	if c.store == nil {
 		return nil
 	}
-	lg := make(map[string][]perfmodel.NFKnobs, len(c.lastGood))
-	for id, ks := range c.lastGood {
-		lg[id] = ks
+	c.persistMu.Lock()
+	defer c.persistMu.Unlock()
+	lg := make(map[string][]perfmodel.NFKnobs)
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		for id, ks := range sh.lastGood {
+			lg[id] = ks
+		}
+		sh.mu.Unlock()
 	}
+	snap := c.policy.Load()
 	return c.store.Save(&ControllerState{
-		PolicyBlob:    c.policyBlob,
-		PolicyVersion: c.policyVersion,
+		PolicyBlob:    snap.blob,
+		PolicyVersion: snap.version,
 		LastGood:      lg,
 	})
 }

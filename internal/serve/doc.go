@@ -39,6 +39,35 @@
 // reconverges to policy-driven configs within one heartbeat window of
 // the partition healing.
 //
+// # Sharding and the report fast path
+//
+// The controller is built to take a whole fleet reporting at once.
+// Per-node state lives in lock-striped shards (FNV-1a of the node ID
+// over a fixed shard count); a shard's mutex guards only its lookup
+// maps, while each node record carries its own mutex for the serving
+// decision — so two nodes never contend, even hash neighbours. The
+// policy sits behind an atomically swapped immutable snapshot:
+// reports read it lock-free, and only ReloadPolicy takes the writer
+// path (validate, then swap a new snapshot with a bumped version).
+// Each in-flight report draws pooled inference scratch — a private
+// policy replica plus action/knob buffers — because the DDPG actor's
+// forward pass reuses per-agent scratch and cannot be shared. The
+// greedy action consumes no randomness, so a node's decision depends
+// only on its own history and the snapshot: concurrent serving is
+// bit-for-bit identical to serial (the fleet harness pins this).
+//
+// # Metrics
+//
+// Controller and agent expose their serving ledgers for Prometheus
+// through stats.Registry: every counter as
+// greennfv_serve_<name>_total / greennfv_agent_<name>_total, gauges
+// for registered nodes and policy version, and a report-latency
+// histogram (greennfv_serve_report_latency_seconds). Conservation
+// laws tie the counters together: configs_pushed equals the policy-
+// plus last-good-sourced replies, and fallback_activations counts
+// only holds (a last-good recovery is a push, not a fallback). Both
+// daemons serve the registry at /metrics (-metrics flag).
+//
 // # Crash safety
 //
 // Controller state — the current policy blob, its version, and each

@@ -165,7 +165,7 @@ func TestServeChaosE2E(t *testing.T) {
 	if v := ctrl2.PolicyVersion(); v != 2 {
 		t.Errorf("restarted policy version %d, want 2 (reload persisted)", v)
 	}
-	if ctrl2.lastGood["node-a"] == nil {
+	if ctrl2.LastGood("node-a") == nil {
 		t.Error("restart lost node-a's last-known-good config")
 	}
 	if err := ctrl2.Start(ctrlAddr); err != nil {

@@ -23,7 +23,7 @@ func testSpec(s sla.SLA) apex.ActorSpec {
 
 // writePolicy saves an untrained (random-weight — the noisiest policy
 // there is) agent checkpoint sized for spec, returning its path.
-func writePolicy(t *testing.T, dir string, spec apex.ActorSpec, seed int64) string {
+func writePolicy(t testing.TB, dir string, spec apex.ActorSpec, seed int64) string {
 	t.Helper()
 	e, err := spec.BuildEnv(0)
 	if err != nil {
@@ -49,7 +49,7 @@ func writePolicy(t *testing.T, dir string, spec apex.ActorSpec, seed int64) stri
 
 // startController builds and starts a controller for spec on an
 // ephemeral port.
-func startController(t *testing.T, cfg Config) *Controller {
+func startController(t testing.TB, cfg Config) *Controller {
 	t.Helper()
 	c, err := NewController(cfg)
 	if err != nil {
@@ -208,13 +208,17 @@ func TestLimiter(t *testing.T) {
 // TestLeaseFencing pins the zombie-fencing story: a second
 // registration for the same node supersedes the first (stale epoch is
 // fatal), and an expired lease forces a transparent re-register.
+// Lease expiry runs on the injected controller clock — deterministic,
+// no sleeps.
 func TestLeaseFencing(t *testing.T) {
 	dir := t.TempDir()
 	spec := testSpec(sla.NewEnergyEfficiency())
+	clk := newFakeClock(time.Unix(1700000000, 0))
 	ctrl := startController(t, Config{
 		Spec:        spec,
 		PolicyPath:  writePolicy(t, dir, spec, 3),
-		LeaseWindow: 50 * time.Millisecond,
+		LeaseWindow: 10 * time.Second,
+		Now:         clk.Now,
 	})
 	mk := func() *NodeAgent {
 		a, err := NewNodeAgent(NodeConfig{
@@ -244,10 +248,11 @@ func TestLeaseFencing(t *testing.T) {
 		t.Error("fenced zombie still applying policy configs")
 	}
 
-	// Let the replacement's lease expire; its next step re-registers
+	// Let the replacement's lease expire by advancing the injected
+	// clock past the lease window; its next step re-registers
 	// transparently (one degraded interval, then fresh policy again).
-	time.Sleep(60 * time.Millisecond)
-	if n := ctrl.ExpireLeases(time.Now()); n != 1 {
+	clk.Advance(11 * time.Second)
+	if n := ctrl.ExpireLeases(clk.Now()); n != 1 {
 		t.Fatalf("expired %d leases, want 1", n)
 	}
 	if got := ctrl.Counters().Get(CounterHeartbeatMisses); got != 1 {
@@ -366,7 +371,7 @@ func TestControllerStatePersistence(t *testing.T) {
 	if v := ctrl2.PolicyVersion(); v != 2 {
 		t.Errorf("restarted version %d, want 2 (hot reload persisted)", v)
 	}
-	if ctrl2.lastGood["node-a"] == nil {
+	if ctrl2.LastGood("node-a") == nil {
 		t.Error("restart lost node-a's last-known-good config")
 	}
 	if stray, _ := atomicio.StrayTemps(statePath); len(stray) != 0 {

@@ -28,6 +28,13 @@ type ControllerState struct {
 	LastGood map[string][]perfmodel.NFKnobs
 }
 
+// stateStore is the controller's persistence seam: the file-backed
+// StateStore in production, a stub in the persistence-failure tests.
+type stateStore interface {
+	Save(*ControllerState) error
+	Load() (*ControllerState, error)
+}
+
 // StateStore persists ControllerState at one path with atomicio
 // framing. The controller is the single writer; OpenStateStore sweeps
 // temp files a crashed predecessor left behind.
