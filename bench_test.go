@@ -18,7 +18,9 @@ import (
 	"sync"
 	"testing"
 
+	"greennfv/internal/cluster"
 	"greennfv/internal/experiments"
+	"greennfv/internal/perfmodel"
 )
 
 // benchOptions returns the training budgets used by the benchmark
@@ -251,6 +253,68 @@ func BenchmarkAblationReward(b *testing.B) {
 }
 
 // Substrate micro-benchmarks: the performance-critical primitives.
+
+// benchClusterWorkload builds the six-chain service-function path the
+// cluster figure evaluates: presets cycling standard/heavy/light, a
+// linear hop chain, and the FigCluster latency budget.
+func benchClusterWorkload() cluster.Workload {
+	w := cluster.Workload{LatencyBudgetNs: 150e3}
+	for i := 0; i < 6; i++ {
+		var spec perfmodel.ChainSpec
+		switch i % 3 {
+		case 0:
+			spec = perfmodel.StandardChain()
+		case 1:
+			spec = perfmodel.HeavyChain()
+		default:
+			spec = perfmodel.LightChain()
+		}
+		spec.Name = fmt.Sprintf("%s-%d", spec.Name, i)
+		w.Chains = append(w.Chains, cluster.ChainLoad{
+			Chain:   spec,
+			Traffic: perfmodel.Traffic{OfferedPPS: 1.5e6, FrameBytes: 512, Burstiness: 1},
+		})
+		if i > 0 {
+			w.Hops = append(w.Hops, cluster.Hop{From: i - 1, To: i, PPS: 600e3, FrameBytes: 512})
+		}
+	}
+	return w
+}
+
+// BenchmarkClusterEvaluate measures the zero-alloc cluster evaluation
+// at 1, 4, and 8 heterogeneous nodes — the inner loop of ClusterEnv
+// stepping. Outside the Fig regression gate (it is a substrate
+// micro-benchmark, not a figure), but recorded in BENCH.json like the
+// rest of the root suite.
+func BenchmarkClusterEvaluate(b *testing.B) {
+	w := benchClusterWorkload()
+	knobs := make([][]perfmodel.NFKnobs, len(w.Chains))
+	for i := range w.Chains {
+		knobs[i] = perfmodel.DefaultKnobs(len(w.Chains[i].Chain.NFs))
+	}
+	for _, n := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("nodes=%d", n), func(b *testing.B) {
+			topo := cluster.Heterogeneous(n)
+			assign := make([]int, len(w.Chains))
+			for i := range assign {
+				assign[i] = i % n
+			}
+			var res cluster.Result
+			// Warm the caller-owned scratch so the numbers show the
+			// steady state, not the first-call growth.
+			if err := topo.EvaluateClusterInto(&res, &w, knobs, assign, perfmodel.EvalOptions{}); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := topo.EvaluateClusterInto(&res, &w, knobs, assign, perfmodel.EvalOptions{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
 
 func BenchmarkModelEvaluate(b *testing.B) {
 	sys, err := NewSystem(DefaultConfig())

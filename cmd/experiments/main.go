@@ -38,7 +38,7 @@ func main() {
 // every exit path (log.Fatal in main would skip them).
 func run() error {
 	full := flag.Bool("full", false, "use the Full() budgets recorded in EXPERIMENTS.md")
-	only := flag.String("only", "", "run a single experiment: fig1..fig4, fig6..fig11, ablations")
+	only := flag.String("only", "", "run a single experiment: fig1..fig4, fig6..fig11, figcluster, ablations")
 	csvDir := flag.String("csv", "", "also write CSV files into this directory")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the figure runs to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile (after GC) to this file on exit")
@@ -46,6 +46,7 @@ func run() error {
 	sweepOut := flag.String("sweep-out", "", "sweep JSONL output file (default stdout)")
 	sweepParallel := flag.Bool("sweep-parallel", false, "train sweep cells with the concurrent Ape-X pipeline (fast, non-deterministic)")
 	sweepWorkers := flag.Int("sweep-workers", 0, "concurrently running sweep cells (0 = GOMAXPROCS)")
+	sweepCluster := flag.Bool("sweep-cluster", false, "add the topology x placement axes to the sweep grid (single node plus heterogeneous 4- and 8-node clusters)")
 	flag.Parse()
 
 	if *cpuProfile != "" {
@@ -86,6 +87,10 @@ func run() error {
 		}
 		cfg.ParallelTrain = *sweepParallel
 		cfg.Workers = *sweepWorkers
+		if *sweepCluster {
+			cfg.Topos = sweep.DefaultTopos()
+			cfg.Placements = sweep.DefaultPlacements()
+		}
 		results, runErr := sweep.Run(cfg)
 		out := os.Stdout
 		if *sweepOut != "" {
@@ -102,8 +107,12 @@ func run() error {
 		if runErr != nil {
 			return runErr
 		}
-		fmt.Fprintf(os.Stderr, "swept %d cells (%d seeds x %d SLA tiers x %d traffic mixes)\n",
-			cfg.Cells(), len(cfg.Seeds), len(cfg.Tiers), len(cfg.Mixes))
+		axes := ""
+		if len(cfg.Topos) > 0 {
+			axes = fmt.Sprintf(" x %d topologies", len(cfg.Topos))
+		}
+		fmt.Fprintf(os.Stderr, "swept %d cells (%d seeds x %d SLA tiers x %d traffic mixes%s)\n",
+			cfg.Cells(), len(cfg.Seeds), len(cfg.Tiers), len(cfg.Mixes), axes)
 		return nil
 	}
 
@@ -128,6 +137,7 @@ func run() error {
 		{"ablation-actors", func() (*experiments.Table, error) { return experiments.AblationActors(o) }},
 		{"ablation-knobs", func() (*experiments.Table, error) { return experiments.AblationKnobs(o) }},
 		{"ablation-reward", func() (*experiments.Table, error) { return experiments.AblationReward(o) }},
+		{"figcluster", func() (*experiments.Table, error) { t, _, err := experiments.FigCluster(o); return t, err }},
 	}
 
 	ran := 0

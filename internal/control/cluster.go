@@ -1,0 +1,97 @@
+package control
+
+import (
+	"errors"
+	"fmt"
+
+	"greennfv/internal/env"
+	"greennfv/internal/perfmodel"
+	"greennfv/internal/rl/apex"
+	"greennfv/internal/rl/ddpg"
+	"greennfv/internal/sla"
+)
+
+// ClusterFactory builds one ClusterEnv per seed — the cluster
+// counterpart of EnvFactory. The factory owns topology, workload, and
+// placement policy; the controller only varies the seed per actor.
+type ClusterFactory func(seed int64) (*env.ClusterEnv, error)
+
+// ClusterGreenNFV trains and deploys the DDPG policy on a multi-node
+// ClusterEnv: knobs for every NF of every chain plus, when the
+// factory's environments leave placement to the agent, the per-chain
+// placement logit head. Training always runs the deterministic
+// round-robin Ape-X path (the figure drivers byte-diff their outputs,
+// and Parallel/remote modes require single-node environments).
+type ClusterGreenNFV struct {
+	slaSpec sla.SLA
+	// TrainSteps is the training budget, Actors the Ape-X worker
+	// count, Seed the base seed (actor i trains on Seed + i*131).
+	TrainSteps int
+	Actors     int
+	Seed       int64
+
+	trainer *apex.Trainer
+	agent   *ddpg.Agent
+	state   []float64
+}
+
+// NewClusterGreenNFV builds the controller for one SLA.
+func NewClusterGreenNFV(s sla.SLA, trainSteps, actors int, seed int64) *ClusterGreenNFV {
+	return &ClusterGreenNFV{slaSpec: s, TrainSteps: trainSteps, Actors: actors, Seed: seed}
+}
+
+// Name identifies the controller in tables.
+func (g *ClusterGreenNFV) Name() string { return "GreenNFV-Cluster" }
+
+// Options reports the platform variant (the GreenNFV platform: poll/
+// callback mix, deep C-states), matching GreenNFV.
+func (g *ClusterGreenNFV) Options() perfmodel.EvalOptions { return perfmodel.EvalOptions{} }
+
+// Prepare runs Ape-X training over cluster environments built by the
+// factory.
+func (g *ClusterGreenNFV) Prepare(factory ClusterFactory) error {
+	if factory == nil {
+		return errors.New("control: ClusterGreenNFV needs a cluster factory")
+	}
+	cfg := apex.DefaultTrainerConfig(g.TrainSteps)
+	if g.Actors > 0 {
+		cfg.Actors = g.Actors
+	}
+	cfg.StepperFactory = func(actorID int) (env.Stepper, error) {
+		return factory(g.Seed + int64(actorID)*131)
+	}
+	cfg.AgentConfig = ddpg.DefaultConfig(0, 0)
+	cfg.AgentConfig.Seed = g.Seed
+	trainer, err := apex.NewTrainer(cfg)
+	if err != nil {
+		return err
+	}
+	if err := trainer.Run(); err != nil {
+		return fmt.Errorf("control: ClusterGreenNFV training: %w", err)
+	}
+	g.trainer = trainer
+	g.agent = trainer.Learner().Agent()
+	return nil
+}
+
+// Trainer exposes the underlying trainer (for training-curve
+// figures).
+func (g *ClusterGreenNFV) Trainer() *apex.Trainer { return g.trainer }
+
+// Step runs one greedy policy action on the measurement environment
+// and returns the cluster roll-up (see env.ClusterEnv.Summary).
+func (g *ClusterGreenNFV) Step(e *env.ClusterEnv) (perfmodel.Result, error) {
+	if g.agent == nil {
+		return perfmodel.Result{}, errors.New("control: ClusterGreenNFV not prepared")
+	}
+	if g.state == nil || len(g.state) != e.StateDim() {
+		g.state = e.Reset(g.Seed + 7777)
+	}
+	action := g.agent.Greedy(g.state)
+	next, _, info, err := e.Step(action)
+	if err != nil {
+		return perfmodel.Result{}, err
+	}
+	g.state = next
+	return info, nil
+}

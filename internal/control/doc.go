@@ -14,6 +14,12 @@
 //   - QControl: the tabular Q-learning comparison model (§4.3).
 //   - GreenNFV: the paper's controller (§4.3.2), trained with Ape-X
 //     DDPG and deployed greedily; Figures 6–11.
+//   - ClusterGreenNFV: the multi-node extension — same DDPG + Ape-X
+//     stack trained on env.ClusterEnv, with knob blocks for every
+//     chain and (when the factory leaves placement unpinned) the
+//     per-chain placement logit head. FigCluster compares it against
+//     the analytic placement.FFDSwap and placement.Relaxation
+//     policies at fixed knob training.
 //
 // # Concurrency and determinism
 //

@@ -26,4 +26,20 @@
 // count. StepInto/ObserveInto are the zero-alloc stepping path
 // (caller-owned observation buffer, pre-clamped default knobs);
 // Step/Observe are allocating wrappers.
+//
+// # Stepper and ClusterEnv
+//
+// The Stepper interface is the stepping surface the RL stack trains
+// against (internal/rl/apex takes Steppers, not concrete Envs). Env
+// and ClusterEnv both satisfy it. ClusterEnv scales the environment
+// to a multi-node cluster (internal/cluster): per-chain knob blocks
+// in chain-major order and, when ClusterConfig.Placement is nil on a
+// multi-node topology, a trailing C×N placement-logit block the
+// agent decodes by per-chain argmax (the DRL placement head). With a
+// non-nil Placement policy the assignment is solved once at
+// construction and pinned; the action space is knobs only. A 1-node
+// ClusterEnv is bit-for-bit the single-node Env — same observations,
+// rewards, and knob decode (shared decodeKnobAction) — the parity
+// the figure suite pins. ClusterEnv keeps Env's determinism and
+// zero-alloc StepInto contracts.
 package env

@@ -247,7 +247,14 @@ func (e *Env) LastTraffic() perfmodel.Traffic { return e.lastTr }
 // Share and frequency scale linearly; DMA and batch scale
 // logarithmically (their useful ranges span orders of magnitude).
 func (e *Env) DecodeAction(a []float64) perfmodel.NFKnobs {
-	b := e.cfg.Bounds
+	return decodeKnobAction(a, e.cfg.Bounds, e.cfg.FrozenKnobs, e.defKnob, e.NumNFs())
+}
+
+// decodeKnobAction is the shared single- and cluster-env action
+// decode. Env and ClusterEnv must map identical action slices to
+// bit-identical knobs (the single-node parity contract), so the
+// arithmetic lives here once; do not reorder the operations.
+func decodeKnobAction(a []float64, b perfmodel.KnobBounds, frozen [KnobsPerNF]bool, def perfmodel.NFKnobs, numNFs int) perfmodel.NFKnobs {
 	u := func(x float64) float64 { // [-1,1] -> [0,1]
 		if math.IsNaN(x) {
 			x = 0
@@ -271,23 +278,22 @@ func (e *Env) DecodeAction(a []float64) perfmodel.NFKnobs {
 		DMABytes:    int64(logScale(u(a[3]), float64(b.DMAMin), float64(b.DMAMax))),
 		Batch:       int(math.Round(logScale(u(a[4]), float64(b.BatchMin), float64(b.BatchMax)))),
 	}
-	def := e.defKnob
-	if e.cfg.FrozenKnobs[0] {
+	if frozen[0] {
 		k.CPUShare = def.CPUShare
 	}
-	if e.cfg.FrozenKnobs[1] {
+	if frozen[1] {
 		k.FreqGHz = def.FreqGHz
 	}
-	if e.cfg.FrozenKnobs[2] {
-		k.LLCFraction = 1 / float64(e.NumNFs())
+	if frozen[2] {
+		k.LLCFraction = 1 / float64(numNFs)
 	}
-	if e.cfg.FrozenKnobs[3] {
+	if frozen[3] {
 		k.DMABytes = def.DMABytes
 	}
-	if e.cfg.FrozenKnobs[4] {
+	if frozen[4] {
 		k.Batch = def.Batch
 	}
-	return e.cfg.Bounds.Clamp(k)
+	return b.Clamp(k)
 }
 
 // EncodeKnobs inverts DecodeAction for warm-starting policies.

@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// tinyOptions keeps cluster training short enough for unit tests.
+func tinyOptions() Options {
+	return Options{TrainSteps: 60, QTrainSteps: 100, Actors: 2, ControlSteps: 8, Seed: 17}
+}
+
+// TestFigClusterDeterministic pins the acceptance criterion: the
+// rendered table must be byte-identical across runs.
+func TestFigClusterDeterministic(t *testing.T) {
+	t1, rows1, err := FigCluster(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, _, err := FigCluster(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b1, b2 strings.Builder
+	if err := t1.Render(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Render(&b2); err != nil {
+		t.Fatal(err)
+	}
+	a, b := b1.String(), b2.String()
+	if a != b {
+		t.Fatalf("FigCluster not byte-identical across runs:\n%s\n---\n%s", a, b)
+	}
+	if len(rows1) != 9 {
+		t.Fatalf("rows = %d, want 9 (3 sizes × 3 policies)", len(rows1))
+	}
+	for _, r := range rows1 {
+		if r.ThroughputGbps <= 0 || r.EnergyJ <= 0 {
+			t.Errorf("%d-node %s: non-positive cell %+v", r.Nodes, r.Policy, r)
+		}
+		if r.NodesUsed < 1 || r.NodesUsed > r.Nodes {
+			t.Errorf("%d-node %s: nodes used %d out of range", r.Nodes, r.Policy, r.NodesUsed)
+		}
+	}
+	for _, col := range []string{"nodes", "placement", "Gbps", "Energy J"} {
+		if !strings.Contains(a, col) {
+			t.Errorf("rendered table missing column %q", col)
+		}
+	}
+}
+
+// TestClusterAnalyticBaselinesConsolidate: with more nodes than the
+// workload needs, the analytic policies must not scatter chains onto
+// every host (idle-power discipline), and the relaxation must respect
+// its own bound.
+func TestClusterAnalyticBaselinesConsolidate(t *testing.T) {
+	for _, pol := range clusterPolicies()[1:] {
+		factory := clusterFactory(8, pol.pol)
+		e, err := factory(17)
+		if err != nil {
+			t.Fatalf("%s: %v", pol.name, err)
+		}
+		used := map[int]bool{}
+		for _, n := range e.Assignment() {
+			used[n] = true
+		}
+		if len(used) >= 8 {
+			t.Errorf("%s scattered 6 chains across all 8 nodes", pol.name)
+		}
+	}
+}

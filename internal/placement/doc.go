@@ -12,10 +12,33 @@
 // pairwise-swap local search — chains sharing a flow path prefer the
 // same node so packets stay cache-resident.
 //
+// # Policies
+//
+// Placement algorithms are pluggable behind the Policy interface:
+//
+//   - FFDSwap — the original heuristic: first-fit-decreasing packing
+//     plus pairwise move/swap local search on cross-node traffic.
+//     Package-level Solve delegates here, so the historical entry
+//     point is unchanged.
+//   - Relaxation — the Sang-et-al.-style analytic baseline
+//     (arXiv:1702.01154): fractional-relaxation node count, then one
+//     deterministic rounding pass, no local search. The provably-
+//     efficient comparator the DRL placement head is judged against.
+//
+// The DRL placement head is not a Policy: it lives in
+// env.ClusterEnv's action decode (per-chain placement logits) and is
+// trained end-to-end, while Policies are consulted once per episode
+// reset.
+//
+// Instances describe nodes either homogeneously (Node × MaxNodes) or
+// heterogeneously (Nodes, one capacity per host — the cluster
+// topology's view). A chain that fits on no node, or an instance no
+// policy can pack, reports an error wrapping the typed ErrInfeasible
+// so callers can branch on errors.Is.
+//
 // # Concurrency and determinism
 //
-// The optimizer is deterministic: first-fit-decreasing packing with
-// stable tie-breaking and a greedy swap search with a fixed visit
+// Both policies are deterministic: stable tie-breaking, fixed visit
 // order, no RNG. The consolidation study's table rows are sorted
 // before rendering, keeping the experiment suite byte-diffable.
 // Plain value types; not goroutine-safe, and no need to be.

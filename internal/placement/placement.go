@@ -6,6 +6,11 @@ import (
 	"sort"
 )
 
+// ErrInfeasible reports a placement instance that cannot be packed:
+// some chain exceeds every node's capacity, or no node subset admits
+// a feasible assignment. Callers test for it with errors.Is.
+var ErrInfeasible = errors.New("placement: infeasible")
+
 // ChainDemand is one service chain's resource footprint.
 type ChainDemand struct {
 	Name string
@@ -31,25 +36,61 @@ type Affinity struct {
 	PPS  float64
 }
 
-// Problem is a placement instance.
+// Problem is a placement instance. Two node descriptions are
+// accepted: the homogeneous form (Node × MaxNodes, the original
+// contract) and the heterogeneous form (Nodes, one capacity per
+// host — the cluster topology's view). When Nodes is non-empty it is
+// authoritative and Node/MaxNodes are ignored.
 type Problem struct {
 	Chains     []ChainDemand
 	Node       NodeCapacity
 	MaxNodes   int
+	Nodes      []NodeCapacity
 	Affinities []Affinity
 }
 
-// Validate reports whether the instance is well formed.
+// capacities resolves the per-node capacity list.
+func (p *Problem) capacities() []NodeCapacity {
+	if len(p.Nodes) > 0 {
+		return p.Nodes
+	}
+	caps := make([]NodeCapacity, p.MaxNodes)
+	for i := range caps {
+		caps[i] = p.Node
+	}
+	return caps
+}
+
+// NumNodes reports how many hosts the instance offers.
+func (p *Problem) NumNodes() int {
+	if len(p.Nodes) > 0 {
+		return len(p.Nodes)
+	}
+	return p.MaxNodes
+}
+
+// Validate reports whether the instance is well formed. A chain that
+// exceeds every node's capacity makes the whole instance infeasible
+// by construction; that case reports an error wrapping ErrInfeasible.
 func (p *Problem) Validate() error {
 	if len(p.Chains) == 0 {
 		return errors.New("placement: no chains")
 	}
-	if p.Node.Cores <= 0 || p.Node.LLCBytes <= 0 {
-		return errors.New("placement: node capacity must be positive")
+	if len(p.Nodes) > 0 {
+		for i, n := range p.Nodes {
+			if n.Cores <= 0 || n.LLCBytes <= 0 {
+				return fmt.Errorf("placement: node %d capacity must be positive", i)
+			}
+		}
+	} else {
+		if p.Node.Cores <= 0 || p.Node.LLCBytes <= 0 {
+			return errors.New("placement: node capacity must be positive")
+		}
+		if p.MaxNodes <= 0 {
+			return errors.New("placement: need at least one node")
+		}
 	}
-	if p.MaxNodes <= 0 {
-		return errors.New("placement: need at least one node")
-	}
+	caps := p.capacities()
 	seen := map[string]bool{}
 	for i, c := range p.Chains {
 		if c.Name == "" {
@@ -59,11 +100,19 @@ func (p *Problem) Validate() error {
 			return fmt.Errorf("placement: duplicate chain %q", c.Name)
 		}
 		seen[c.Name] = true
-		if c.Cores <= 0 || c.Cores > p.Node.Cores {
-			return fmt.Errorf("placement: chain %q needs %v cores (node has %v)", c.Name, c.Cores, p.Node.Cores)
+		if c.Cores <= 0 || c.LLCBytes <= 0 {
+			return fmt.Errorf("placement: chain %q demand must be positive", c.Name)
 		}
-		if c.LLCBytes <= 0 || c.LLCBytes > p.Node.LLCBytes {
-			return fmt.Errorf("placement: chain %q needs %d LLC bytes (node has %d)", c.Name, c.LLCBytes, p.Node.LLCBytes)
+		fits := false
+		for _, n := range caps {
+			if c.Cores <= n.Cores && c.LLCBytes <= n.LLCBytes {
+				fits = true
+				break
+			}
+		}
+		if !fits {
+			return fmt.Errorf("placement: chain %q needs %v cores / %d LLC bytes, exceeding every node's capacity: %w",
+				c.Name, c.Cores, c.LLCBytes, ErrInfeasible)
 		}
 	}
 	for _, a := range p.Affinities {
@@ -90,13 +139,39 @@ type Solution struct {
 	CrossPPS float64
 }
 
+// Policy is a pluggable placement algorithm: the seam the cluster
+// controllers select over (analytic baselines here; the DRL placement
+// head lives in env.ClusterEnv's action decode and bypasses this
+// interface entirely). Implementations must be deterministic — the
+// figure drivers byte-diff their outputs across runs.
+type Policy interface {
+	// Name identifies the policy in reports and JSONL rows.
+	Name() string
+	// Solve computes an assignment for the instance. Infeasible
+	// instances report an error wrapping ErrInfeasible.
+	Solve(p Problem) (Solution, error)
+}
+
+// FFDSwap is the original consolidation heuristic: First-Fit-
+// Decreasing packing by core demand, then pairwise-move/swap local
+// search that reduces cross-node affinity traffic without increasing
+// the node count.
+type FFDSwap struct{}
+
+// Name implements Policy.
+func (FFDSwap) Name() string { return "ffd+swap" }
+
 // Solve packs the chains: First-Fit-Decreasing by core demand for the
 // node count, then pairwise-move local search to reduce cross-node
 // affinity traffic without increasing the node count.
-func Solve(p Problem) (Solution, error) {
+func Solve(p Problem) (Solution, error) { return FFDSwap{}.Solve(p) }
+
+// Solve implements Policy.
+func (FFDSwap) Solve(p Problem) (Solution, error) {
 	if err := p.Validate(); err != nil {
 		return Solution{}, err
 	}
+	caps := p.capacities()
 	// FFD by cores (ties by LLC).
 	order := make([]int, len(p.Chains))
 	for i := range order {
@@ -114,14 +189,14 @@ func Solve(p Problem) (Solution, error) {
 		cores float64
 		llc   int64
 	}
-	nodes := make([]nodeState, p.MaxNodes)
+	nodes := make([]nodeState, len(caps))
 	assign := Assignment{}
 	for _, idx := range order {
 		c := p.Chains[idx]
 		placed := false
-		for n := 0; n < p.MaxNodes; n++ {
-			if nodes[n].cores+c.Cores <= p.Node.Cores &&
-				nodes[n].llc+c.LLCBytes <= p.Node.LLCBytes {
+		for n := range caps {
+			if nodes[n].cores+c.Cores <= caps[n].Cores &&
+				nodes[n].llc+c.LLCBytes <= caps[n].LLCBytes {
 				nodes[n].cores += c.Cores
 				nodes[n].llc += c.LLCBytes
 				assign[c.Name] = n
@@ -130,7 +205,8 @@ func Solve(p Problem) (Solution, error) {
 			}
 		}
 		if !placed {
-			return Solution{}, fmt.Errorf("placement: chain %q does not fit on %d nodes", c.Name, p.MaxNodes)
+			return Solution{}, fmt.Errorf("placement: chain %q does not fit on %d nodes: %w",
+				c.Name, len(caps), ErrInfeasible)
 		}
 	}
 
@@ -140,7 +216,7 @@ func Solve(p Problem) (Solution, error) {
 	}
 	fits := func(name string, n int) bool {
 		c := demand[name]
-		return nodes[n].cores+c.Cores <= p.Node.Cores && nodes[n].llc+c.LLCBytes <= p.Node.LLCBytes
+		return nodes[n].cores+c.Cores <= caps[n].Cores && nodes[n].llc+c.LLCBytes <= caps[n].LLCBytes
 	}
 	move := func(name string, from, to int) {
 		c := demand[name]
@@ -195,8 +271,8 @@ func Solve(p Problem) (Solution, error) {
 				naLLCAfter := nodes[na].llc - x.LLCBytes + b.LLCBytes
 				nbCoresAfter := nodes[nb].cores - b.Cores + x.Cores
 				nbLLCAfter := nodes[nb].llc - b.LLCBytes + x.LLCBytes
-				if naCoresAfter > p.Node.Cores || naLLCAfter > p.Node.LLCBytes ||
-					nbCoresAfter > p.Node.Cores || nbLLCAfter > p.Node.LLCBytes {
+				if naCoresAfter > caps[na].Cores || naLLCAfter > caps[na].LLCBytes ||
+					nbCoresAfter > caps[nb].Cores || nbLLCAfter > caps[nb].LLCBytes {
 					continue
 				}
 				move(x.Name, na, nb)
@@ -222,6 +298,153 @@ func Solve(p Problem) (Solution, error) {
 	}, nil
 }
 
+// Relaxation is the Sang-et-al.-style analytic baseline
+// (arXiv:1702.01154): relax the packing integrality, take the
+// fractional optimum's node count (the capacity lower bound over the
+// largest-capacity node prefix), then round chains onto that prefix
+// largest-fractional-demand first — each chain goes to the feasible
+// open node with the strongest affinity pull, ties broken best-fit
+// (least residual core slack) then lowest index. If rounding fails,
+// the prefix grows by one node and rounding restarts, so the gap to
+// the relaxation bound is exactly the number of retries. One pass, no
+// local search: this is the provably-efficient comparator the DRL
+// head must beat, not another heuristic tower.
+type Relaxation struct{}
+
+// Name implements Policy.
+func (Relaxation) Name() string { return "relax+round" }
+
+// Solve implements Policy.
+func (Relaxation) Solve(p Problem) (Solution, error) {
+	if err := p.Validate(); err != nil {
+		return Solution{}, err
+	}
+	caps := p.capacities()
+
+	// Open nodes largest-capacity first: the fractional relaxation
+	// fills big bins first, and its node count is the smallest prefix
+	// covering both resource sums.
+	nodeOrder := make([]int, len(caps))
+	for i := range nodeOrder {
+		nodeOrder[i] = i
+	}
+	sort.SliceStable(nodeOrder, func(a, b int) bool {
+		ca, cb := caps[nodeOrder[a]], caps[nodeOrder[b]]
+		if ca.Cores != cb.Cores {
+			return ca.Cores > cb.Cores
+		}
+		return ca.LLCBytes > cb.LLCBytes
+	})
+	var totCores float64
+	var totLLC int64
+	for _, c := range p.Chains {
+		totCores += c.Cores
+		totLLC += c.LLCBytes
+	}
+	lb := 1
+	var sumCores float64
+	var sumLLC int64
+	for k, idx := range nodeOrder {
+		sumCores += caps[idx].Cores
+		sumLLC += caps[idx].LLCBytes
+		if sumCores >= totCores && sumLLC >= totLLC {
+			lb = k + 1
+			break
+		}
+		lb = k + 2 // prefix k+1 does not cover the demand
+	}
+	if lb > len(caps) {
+		return Solution{}, fmt.Errorf("placement: relaxation bound %d exceeds %d nodes: %w",
+			lb, len(caps), ErrInfeasible)
+	}
+
+	// Round chains largest fractional demand first (demand relative
+	// to the biggest node: the variable closest to 1 in the relaxed
+	// solution rounds first).
+	ref := caps[nodeOrder[0]]
+	chainOrder := make([]int, len(p.Chains))
+	for i := range chainOrder {
+		chainOrder[i] = i
+	}
+	frac := func(c ChainDemand) float64 {
+		f := c.Cores / ref.Cores
+		if l := float64(c.LLCBytes) / float64(ref.LLCBytes); l > f {
+			f = l
+		}
+		return f
+	}
+	sort.SliceStable(chainOrder, func(a, b int) bool {
+		fa, fb := frac(p.Chains[chainOrder[a]]), frac(p.Chains[chainOrder[b]])
+		if fa != fb {
+			return fa > fb
+		}
+		return p.Chains[chainOrder[a]].LLCBytes > p.Chains[chainOrder[b]].LLCBytes
+	})
+
+	for m := lb; m <= len(caps); m++ {
+		open := nodeOrder[:m]
+		if assign, ok := roundOnto(p, caps, open, chainOrder); ok {
+			used := map[int]bool{}
+			for _, n := range assign {
+				used[n] = true
+			}
+			return Solution{
+				Assignment: assign,
+				NodesUsed:  len(used),
+				CrossPPS:   crossPPS(p, assign),
+			}, nil
+		}
+	}
+	return Solution{}, fmt.Errorf("placement: rounding failed on all %d nodes: %w", len(caps), ErrInfeasible)
+}
+
+// roundOnto performs one rounding pass over the open node prefix.
+func roundOnto(p Problem, caps []NodeCapacity, open []int, chainOrder []int) (Assignment, bool) {
+	resCores := make(map[int]float64, len(open))
+	resLLC := make(map[int]int64, len(open))
+	for _, n := range open {
+		resCores[n] = caps[n].Cores
+		resLLC[n] = caps[n].LLCBytes
+	}
+	assign := Assignment{}
+	for _, ci := range chainOrder {
+		c := p.Chains[ci]
+		best, bestPull, bestSlack := -1, -1.0, 0.0
+		for _, n := range open {
+			if c.Cores > resCores[n] || c.LLCBytes > resLLC[n] {
+				continue
+			}
+			// Affinity pull: traffic to chains already rounded onto n.
+			pull := 0.0
+			for _, a := range p.Affinities {
+				other := ""
+				switch c.Name {
+				case a.A:
+					other = a.B
+				case a.B:
+					other = a.A
+				default:
+					continue
+				}
+				if on, ok := assign[other]; ok && on == n {
+					pull += a.PPS
+				}
+			}
+			slack := resCores[n] - c.Cores
+			if best < 0 || pull > bestPull || (pull == bestPull && slack < bestSlack) {
+				best, bestPull, bestSlack = n, pull, slack
+			}
+		}
+		if best < 0 {
+			return nil, false
+		}
+		resCores[best] -= c.Cores
+		resLLC[best] -= c.LLCBytes
+		assign[c.Name] = best
+	}
+	return assign, true
+}
+
 // crossPPS totals affinity traffic whose endpoints sit on different
 // nodes.
 func crossPPS(p Problem, a Assignment) float64 {
@@ -235,7 +458,9 @@ func crossPPS(p Problem, a Assignment) float64 {
 }
 
 // LowerBoundNodes reports a simple capacity lower bound on the node
-// count (max of the core-sum and LLC-sum bounds).
+// count: for homogeneous instances the max of the core-sum and
+// LLC-sum bounds; for heterogeneous ones the smallest
+// largest-capacity-first prefix covering both resource sums.
 func LowerBoundNodes(p Problem) int {
 	var cores float64
 	var llc int64
@@ -243,12 +468,38 @@ func LowerBoundNodes(p Problem) int {
 		cores += c.Cores
 		llc += c.LLCBytes
 	}
-	byCores := int(ceilDiv(cores, p.Node.Cores))
-	byLLC := int((llc + p.Node.LLCBytes - 1) / p.Node.LLCBytes)
+	if len(p.Nodes) == 0 {
+		byCores := int(ceilDiv(cores, p.Node.Cores))
+		byLLC := int((llc + p.Node.LLCBytes - 1) / p.Node.LLCBytes)
+		if byCores > byLLC {
+			return byCores
+		}
+		return byLLC
+	}
+	byCores := prefixBound(len(p.Nodes), func(i int) float64 { return p.Nodes[i].Cores }, cores)
+	byLLC := prefixBound(len(p.Nodes), func(i int) float64 { return float64(p.Nodes[i].LLCBytes) }, float64(llc))
 	if byCores > byLLC {
 		return byCores
 	}
 	return byLLC
+}
+
+// prefixBound is the smallest count of largest-first capacities whose
+// sum covers the demand (n+1 when even all of them do not).
+func prefixBound(n int, capAt func(i int) float64, demand float64) int {
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = capAt(i)
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(vals)))
+	sum := 0.0
+	for i, v := range vals {
+		sum += v
+		if sum >= demand {
+			return i + 1
+		}
+	}
+	return n + 1
 }
 
 func ceilDiv(a, b float64) float64 {

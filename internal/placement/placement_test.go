@@ -1,6 +1,7 @@
 package placement
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 )
@@ -168,5 +169,144 @@ func TestLowerBound(t *testing.T) {
 	}
 	if lb := LowerBoundNodes(p); lb != 2 {
 		t.Errorf("LLC lower bound = %d, want 2", lb)
+	}
+}
+
+// TestSolveTable is the Policy contract table: both policies must
+// agree on the typed-infeasible, empty-affinity, and equal-demand
+// tie-break behaviors.
+func TestSolveTable(t *testing.T) {
+	policies := []Policy{FFDSwap{}, Relaxation{}}
+	cases := []struct {
+		name       string
+		p          Problem
+		infeasible bool
+		// want pins the deterministic assignment (nil to skip).
+		want Assignment
+	}{
+		{
+			name: "infeasible: chain exceeds every node",
+			p: Problem{
+				Chains: []ChainDemand{{Name: "huge", Cores: 20, LLCBytes: 1 << 20}},
+				Nodes: []NodeCapacity{
+					{Cores: 16, LLCBytes: 18 << 20},
+					{Cores: 8, LLCBytes: 12 << 20},
+				},
+			},
+			infeasible: true,
+		},
+		{
+			name: "infeasible: aggregate demand exceeds cluster",
+			p: Problem{
+				Chains: []ChainDemand{
+					{Name: "a", Cores: 10, LLCBytes: 1 << 20},
+					{Name: "b", Cores: 10, LLCBytes: 1 << 20},
+					{Name: "c", Cores: 10, LLCBytes: 1 << 20},
+					{Name: "d", Cores: 10, LLCBytes: 1 << 20},
+				},
+				Node:     node16(),
+				MaxNodes: 2,
+			},
+			infeasible: true,
+		},
+		{
+			name: "empty affinity list still packs",
+			p: Problem{
+				Chains: []ChainDemand{
+					{Name: "a", Cores: 8, LLCBytes: 4 << 20},
+					{Name: "b", Cores: 8, LLCBytes: 4 << 20},
+				},
+				Node:     node16(),
+				MaxNodes: 4,
+			},
+			want: Assignment{"a": 0, "b": 0},
+		},
+		{
+			name: "equal demand ties break by input order",
+			p: Problem{
+				Chains: []ChainDemand{
+					{Name: "x", Cores: 10, LLCBytes: 4 << 20},
+					{Name: "y", Cores: 10, LLCBytes: 4 << 20},
+					{Name: "z", Cores: 10, LLCBytes: 4 << 20},
+				},
+				Node:     node16(),
+				MaxNodes: 4,
+			},
+			// Stable sort keeps input order; first-fit sends each
+			// equal chain to the lowest node with room.
+			want: Assignment{"x": 0, "y": 1, "z": 2},
+		},
+	}
+	for _, pol := range policies {
+		for _, tc := range cases {
+			sol, err := pol.Solve(tc.p)
+			if tc.infeasible {
+				if !errors.Is(err, ErrInfeasible) {
+					t.Errorf("%s/%s: err = %v, want ErrInfeasible", pol.Name(), tc.name, err)
+				}
+				continue
+			}
+			if err != nil {
+				t.Errorf("%s/%s: unexpected error %v", pol.Name(), tc.name, err)
+				continue
+			}
+			if tc.want == nil {
+				continue
+			}
+			for name, n := range tc.want {
+				if sol.Assignment[name] != n {
+					t.Errorf("%s/%s: %s on node %d, want %d", pol.Name(), tc.name, name, sol.Assignment[name], n)
+				}
+			}
+			if sol.CrossPPS != 0 {
+				t.Errorf("%s/%s: CrossPPS = %v, want 0", pol.Name(), tc.name, sol.CrossPPS)
+			}
+		}
+	}
+}
+
+// TestHeterogeneousNodes checks the Nodes form: a chain too big for
+// the small node must land on the big one.
+func TestHeterogeneousNodes(t *testing.T) {
+	p := Problem{
+		Chains: []ChainDemand{
+			{Name: "big", Cores: 12, LLCBytes: 8 << 20},
+			{Name: "small", Cores: 4, LLCBytes: 4 << 20},
+		},
+		Nodes: []NodeCapacity{
+			{Cores: 8, LLCBytes: 12 << 20},
+			{Cores: 16, LLCBytes: 18 << 20},
+		},
+	}
+	for _, pol := range []Policy{FFDSwap{}, Relaxation{}} {
+		sol, err := pol.Solve(p)
+		if err != nil {
+			t.Fatalf("%s: %v", pol.Name(), err)
+		}
+		if sol.Assignment["big"] != 1 {
+			t.Errorf("%s: big chain on node %d, want 1", pol.Name(), sol.Assignment["big"])
+		}
+	}
+}
+
+// TestRelaxationMatchesLowerBound: on instances where rounding
+// succeeds at the relaxation bound, the node count equals it.
+func TestRelaxationMatchesLowerBound(t *testing.T) {
+	p := Problem{
+		Chains: []ChainDemand{
+			{Name: "a", Cores: 10, LLCBytes: 4 << 20},
+			{Name: "b", Cores: 6, LLCBytes: 4 << 20},
+			{Name: "c", Cores: 10, LLCBytes: 4 << 20},
+			{Name: "d", Cores: 6, LLCBytes: 4 << 20},
+		},
+		Node:     node16(),
+		MaxNodes: 6,
+	}
+	sol, err := Relaxation{}.Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lb := LowerBoundNodes(p); sol.NodesUsed != lb {
+		t.Errorf("relaxation used %d nodes, lower bound %d", sol.NodesUsed, lb)
 	}
 }

@@ -225,7 +225,7 @@ func (l *Learner) Stats() (pushes, transitions int) {
 // bit-identical to one computed at Step time.
 type Actor struct {
 	ID    int
-	env   *env.Env
+	env   env.Stepper
 	agent *ddpg.Agent // local network copy: acting + TD priorities only
 
 	state   []float64
@@ -250,8 +250,9 @@ type Actor struct {
 // ActorConfig builds one actor.
 type ActorConfig struct {
 	ID int
-	// Env is the actor's private environment instance.
-	Env *env.Env
+	// Env is the actor's private environment instance (single-node
+	// Env or multi-node ClusterEnv — anything satisfying Stepper).
+	Env env.Stepper
 	// AgentConfig shapes the local network copy; exploration sigma
 	// is typically varied per actor (Ape-X's ε_i ladder).
 	AgentConfig ddpg.Config
@@ -298,7 +299,7 @@ func NewActor(cfg ActorConfig) (*Actor, error) {
 }
 
 // Env exposes the actor's environment (for snapshotting knobs).
-func (a *Actor) Env() *env.Env { return a.env }
+func (a *Actor) Env() env.Stepper { return a.env }
 
 // Step runs one acting step against the learner: act, observe,
 // buffer, and periodically push/pull. It returns the step's reward

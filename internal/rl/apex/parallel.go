@@ -101,7 +101,14 @@ func (t *Trainer) runParallel() error {
 	envs := make([]*env.Env, n)
 	ladder := make([]ddpg.Config, n)
 	for i, a := range t.actors {
-		envs[i] = a.Env()
+		se, ok := a.Env().(*env.Env)
+		if !ok {
+			// VecEnv vectorizes the single-node env's fixed layout;
+			// cluster environments train through the deterministic
+			// round-robin path instead.
+			return fmt.Errorf("apex: Parallel requires single-node environments, actor %d has %T", i, a.Env())
+		}
+		envs[i] = se
 		ladder[i] = a.agent.Config()
 	}
 	// workers=1: per-env steps are microseconds of arithmetic, so the

@@ -29,7 +29,7 @@ type Snapshot struct {
 }
 
 // SnapshotOf summarizes an environment's current knobs and result.
-func SnapshotOf(episode int, e *env.Env, res perfmodel.Result, reward float64) Snapshot {
+func SnapshotOf(episode int, e env.Stepper, res perfmodel.Result, reward float64) Snapshot {
 	ks := e.Knobs()
 	var freq, llc, dma, batch float64
 	for _, k := range ks {
@@ -162,6 +162,12 @@ type TrainerConfig struct {
 	DrainTimeout time.Duration
 	// EnvFactory builds one environment per actor (distinct seeds).
 	EnvFactory func(actorID int) (*env.Env, error)
+	// StepperFactory is EnvFactory's generalization for environments
+	// that are not the single-node *env.Env (the multi-node
+	// ClusterEnv). Used only when EnvFactory is nil; remote mode and
+	// Parallel require single-node EnvFactory environments, so
+	// stepper-built trainers run the deterministic round-robin path.
+	StepperFactory func(actorID int) (env.Stepper, error)
 	// AgentConfig templates the learner and actor networks; state
 	// and action dims are filled from the environment.
 	AgentConfig ddpg.Config
@@ -228,10 +234,15 @@ func NewTrainer(cfg TrainerConfig) (*Trainer, error) {
 		// caller-supplied EnvFactory is ignored, as documented.
 		cfg.EnvFactory = cfg.RemoteSpec.EnvFactory()
 	}
-	if cfg.EnvFactory == nil {
+	factory := cfg.StepperFactory
+	if cfg.EnvFactory != nil {
+		ef := cfg.EnvFactory
+		factory = func(actorID int) (env.Stepper, error) { return ef(actorID) }
+	}
+	if factory == nil {
 		return nil, errors.New("apex: need an environment factory")
 	}
-	probe, err := cfg.EnvFactory(0)
+	probe, err := factory(0)
 	if err != nil {
 		return nil, err
 	}
@@ -262,7 +273,7 @@ func NewTrainer(cfg TrainerConfig) (*Trainer, error) {
 	for i := 0; i < cfg.Actors; i++ {
 		e := probe
 		if i > 0 {
-			e, err = cfg.EnvFactory(i)
+			e, err = factory(i)
 			if err != nil {
 				return nil, err
 			}
@@ -355,7 +366,7 @@ func (t *Trainer) runRoundRobin() error {
 // GreedyEval runs the learned deterministic policy on a fresh
 // environment for a few settling steps and returns the final
 // measurement — the paper's periodic "testing" of the trained model.
-func (t *Trainer) GreedyEval(e *env.Env, settle int) (perfmodel.Result, error) {
+func (t *Trainer) GreedyEval(e env.Stepper, settle int) (perfmodel.Result, error) {
 	if settle < 1 {
 		settle = 1
 	}

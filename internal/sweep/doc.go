@@ -21,6 +21,18 @@
 //     sla.SLA.Describe, e.g. "max throughput s.t. energy <= 2000 J".
 //   - "traffic" (string): the traffic mix's grid name — "standard",
 //     "light", "heavy" (see DefaultMixes).
+//   - "topology" (string, omitted when the grid has no topology
+//     axis): the Topo axis value's name — "single", "hetero-4",
+//     "hetero-8" with DefaultTopos. Rows of a grid with empty
+//     Config.Topos never carry this key, so pre-topology consumers
+//     see unchanged rows.
+//   - "nodes" (int, omitted with "topology"): the cell's cluster
+//     size; 1 for an explicit single-node topology axis value.
+//   - "placement" (string, omitted on single-node rows): the
+//     placement-policy axis value for multi-node cells — "drl-head"
+//     (the agent's per-chain placement logit head), "ffd+swap", or
+//     "relax+round" (see DefaultPlacements). Single-node cells skip
+//     the placement axis entirely: there is nowhere to place.
 //   - "train_steps" (int): Ape-X training budget of the cell.
 //   - "actors" (int): Ape-X actor count used in training.
 //   - "control_steps" (int): post-training measurement horizon.
@@ -34,6 +46,12 @@
 //     (not just settled ones) whose measurement violated the SLA.
 //   - "mean_violation" (float): mean violation magnitude over
 //     violating intervals (sla.Tracker.MeanViolation); 0 when none.
+//   - "nodes_used" (int, omitted on single-node rows): how many
+//     cluster nodes host at least one chain on the last measured
+//     interval (cluster.Result.NodesUsed) — the consolidation signal.
+//   - "link_energy_j" (float, omitted on single-node rows): settled
+//     mean inter-node transfer energy per measurement window, the
+//     link share of "energy_j" (cluster.Result.LinkEnergyJ).
 //   - "train_seconds" (float): wall-clock training time of the cell.
 //   - "error" (string, omitted when empty): the cell's failure, if
 //     any; a failing cell still emits its row with the identity and
@@ -46,6 +64,19 @@
 // deterministic seed-major grid order regardless of scheduling.
 // With the default round-robin trainer each cell is deterministic
 // given its seed; Config.ParallelTrain trades that determinism for
-// speed. A failing cell records its error in its own row without
-// stopping the rest of the grid.
+// speed (multi-node cells ignore it — the cluster trainer is always
+// round-robin, so cluster rows stay deterministic regardless). A
+// failing cell records its error in its own row without stopping the
+// rest of the grid.
+//
+// # Topology and placement axes
+//
+// Config.Topos adds cluster size as a grid axis (cmd/experiments
+// -sweep -sweep-cluster): each multi-node Topo crosses with every
+// Config.Placements entry and trains control.ClusterGreenNFV on a
+// heterogeneous cluster hosting the FigCluster six-chain
+// service-function path, with each chain carrying the cell's traffic
+// mix at half rate. Single-node Topo entries run the original
+// environment path unchanged. An empty Topos keeps the original grid
+// and the original rows, byte for byte.
 package sweep

@@ -7,9 +7,11 @@ import (
 	"io"
 	"time"
 
+	"greennfv/internal/cluster"
 	"greennfv/internal/control"
 	"greennfv/internal/env"
 	"greennfv/internal/perfmodel"
+	"greennfv/internal/placement"
 	"greennfv/internal/pool"
 	"greennfv/internal/sla"
 )
@@ -81,6 +83,45 @@ func DefaultMixes() []Mix {
 	}
 }
 
+// Topo is one topology grid axis value: how many nodes the cell's
+// environment spans. Nodes <= 1 selects the original single-node
+// environment path (and skips the placement axis — the row's
+// placement field stays empty); larger values build a heterogeneous
+// cluster (cluster.Heterogeneous) of that many nodes.
+type Topo struct {
+	Name  string
+	Nodes int
+}
+
+// Placement is one placement-policy grid axis value for multi-node
+// topologies. A nil Policy selects the DRL placement head: the agent's
+// action vector carries per-chain placement logits instead of a
+// pinned analytic assignment.
+type Placement struct {
+	Name   string
+	Policy placement.Policy
+}
+
+// DefaultTopos returns the topology axis of the cluster sweep: the
+// original single node plus heterogeneous 4- and 8-node clusters.
+func DefaultTopos() []Topo {
+	return []Topo{
+		{Name: "single", Nodes: 1},
+		{Name: "hetero-4", Nodes: 4},
+		{Name: "hetero-8", Nodes: 8},
+	}
+}
+
+// DefaultPlacements returns the placement axis: the DRL head and both
+// analytic baselines.
+func DefaultPlacements() []Placement {
+	return []Placement{
+		{Name: "drl-head", Policy: nil},
+		{Name: placement.FFDSwap{}.Name(), Policy: placement.FFDSwap{}},
+		{Name: placement.Relaxation{}.Name(), Policy: placement.Relaxation{}},
+	}
+}
+
 // Config sizes a sweep.
 type Config struct {
 	// Seeds, Tiers and Mixes span the grid; every combination is one
@@ -88,6 +129,12 @@ type Config struct {
 	Seeds []int64
 	Tiers []Tier
 	Mixes []Mix
+	// Topos optionally adds the topology axis; empty keeps the
+	// original single-node grid (and the original rows, byte for
+	// byte). Placements crosses multi-node topologies with placement
+	// policies; empty defaults multi-node cells to the DRL head.
+	Topos      []Topo
+	Placements []Placement
 	// TrainSteps / Actors budget each cell's Ape-X training run;
 	// ControlSteps is the post-training measurement horizon.
 	TrainSteps   int
@@ -128,8 +175,26 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// Cells reports the grid size.
-func (c Config) Cells() int { return len(c.Seeds) * len(c.Tiers) * len(c.Mixes) }
+// Cells reports the grid size: single-node topologies contribute one
+// cell per (seed, tier, mix), multi-node ones one cell per placement.
+func (c Config) Cells() int {
+	per := 1
+	if len(c.Topos) > 0 {
+		pl := len(c.Placements)
+		if pl == 0 {
+			pl = 1
+		}
+		per = 0
+		for _, t := range c.Topos {
+			if t.Nodes <= 1 {
+				per++
+			} else {
+				per += pl
+			}
+		}
+	}
+	return len(c.Seeds) * len(c.Tiers) * len(c.Mixes) * per
+}
 
 // Result is one grid cell's outcome — one JSON row.
 type Result struct {
@@ -137,6 +202,11 @@ type Result struct {
 	SLA       string `json:"sla"`
 	SLADetail string `json:"sla_detail"`
 	Traffic   string `json:"traffic"`
+	// Topology identity, set only when the grid has a topology axis;
+	// single-node rows of a topology-less grid omit all three.
+	Topology  string `json:"topology,omitempty"`
+	Nodes     int    `json:"nodes,omitempty"`
+	Placement string `json:"placement,omitempty"`
 
 	TrainSteps   int `json:"train_steps"`
 	Actors       int `json:"actors"`
@@ -149,6 +219,9 @@ type Result struct {
 	// SLA satisfaction over the whole control horizon.
 	ViolationRate float64 `json:"violation_rate"`
 	MeanViolation float64 `json:"mean_violation"`
+	// Cluster-only extras (zero and omitted on single-node rows).
+	NodesUsed   int     `json:"nodes_used,omitempty"`
+	LinkEnergyJ float64 `json:"link_energy_j,omitempty"`
 
 	TrainSeconds float64 `json:"train_seconds"`
 	Error        string  `json:"error,omitempty"`
@@ -170,12 +243,98 @@ func factory(s sla.SLA, m Mix) control.EnvFactory {
 	}
 }
 
-// runCell trains and measures one grid cell.
-func runCell(cfg Config, seed int64, tier Tier, mix Mix) (Result, error) {
+// clusterEnvFactory builds the multi-node cell's environment family:
+// the FigCluster workload (six preset chains in one service-function
+// path, 150 µs end-to-end budget) on a heterogeneous topology, with
+// each chain carrying the cell's traffic mix at half rate — the same
+// scaling StandardClusterChains applies to the standard workload, so
+// the "standard" mix reproduces it exactly.
+func clusterEnvFactory(s sla.SLA, m Mix, nodes int, pol placement.Policy) control.ClusterFactory {
+	return func(seed int64) (*env.ClusterEnv, error) {
+		chains, hops := env.StandardClusterChains(6)
+		for i := range chains {
+			chains[i].Flows = scaleFlows(m.Flows, 0.5, 1)
+		}
+		return env.NewCluster(env.ClusterConfig{
+			Topology:        cluster.Heterogeneous(nodes),
+			Chains:          chains,
+			Hops:            hops,
+			LatencyBudgetNs: 150e3,
+			Bounds:          perfmodel.DefaultBounds(),
+			SLA:             s,
+			LoadJitter:      m.LoadJitter,
+			Seed:            seed,
+			Placement:       pol,
+		})
+	}
+}
+
+// runClusterCell trains and measures one multi-node grid cell. The
+// cluster trainer is always round-robin (ParallelTrain is ignored —
+// the concurrent pipeline requires single-node environments), so
+// every cluster row is deterministic given its seed.
+func runClusterCell(cfg Config, seed int64, tier Tier, mix Mix, topo Topo, pl Placement) (Result, error) {
+	r := Result{
+		Seed: seed, SLA: tier.Name, SLADetail: tier.SLA.Describe(),
+		Traffic: mix.Name, Topology: topo.Name, Nodes: topo.Nodes,
+		Placement: pl.Name, TrainSteps: cfg.TrainSteps, Actors: cfg.Actors,
+		ControlSteps: cfg.ControlSteps,
+	}
+	g := control.NewClusterGreenNFV(tier.SLA, cfg.TrainSteps, cfg.Actors, seed)
+	f := clusterEnvFactory(tier.SLA, mix, topo.Nodes, pl.Policy)
+	start := time.Now()
+	if err := g.Prepare(f); err != nil {
+		return r, fmt.Errorf("prepare: %w", err)
+	}
+	r.TrainSeconds = time.Since(start).Seconds()
+
+	e, err := f(seed + 1000)
+	if err != nil {
+		return r, fmt.Errorf("measure env: %w", err)
+	}
+	tracker := sla.NewTracker(tier.SLA)
+	settle := cfg.ControlSteps / 4
+	if settle < 1 {
+		settle = 1
+	}
+	var tput, energy, link float64
+	for i := 0; i < cfg.ControlSteps; i++ {
+		res, err := g.Step(e)
+		if err != nil {
+			return r, fmt.Errorf("control step %d: %w", i, err)
+		}
+		tracker.Observe(res.ThroughputGbps, res.EnergyJoules)
+		if i >= cfg.ControlSteps-settle {
+			tput += res.ThroughputGbps
+			energy += res.EnergyJoules
+			link += e.LastCluster().LinkEnergyJ
+			r.NodesUsed = e.LastCluster().NodesUsed
+		}
+	}
+	r.ThroughputGbps = tput / float64(settle)
+	r.EnergyJ = energy / float64(settle)
+	if r.EnergyJ > 0 {
+		r.Efficiency = r.ThroughputGbps / (r.EnergyJ / 1000)
+	}
+	r.LinkEnergyJ = link / float64(settle)
+	r.ViolationRate = tracker.ViolationRate()
+	r.MeanViolation = tracker.MeanViolation()
+	return r, nil
+}
+
+// runCell trains and measures one single-node grid cell. The topo
+// argument only stamps row identity: an explicit single-node topology
+// axis value names the row, the implicit (topology-less) grid leaves
+// the fields empty so existing rows stay byte-identical.
+func runCell(cfg Config, seed int64, tier Tier, mix Mix, topo Topo) (Result, error) {
 	r := Result{
 		Seed: seed, SLA: tier.Name, SLADetail: tier.SLA.Describe(),
 		Traffic: mix.Name, TrainSteps: cfg.TrainSteps, Actors: cfg.Actors,
 		ControlSteps: cfg.ControlSteps,
+	}
+	if topo.Name != "" {
+		r.Topology = topo.Name
+		r.Nodes = 1
 	}
 	g := control.NewGreenNFV(tier.SLA, cfg.TrainSteps, cfg.Actors, seed)
 	g.Parallel = cfg.ParallelTrain
@@ -233,12 +392,32 @@ func Run(cfg Config) ([]Result, error) {
 		seed int64
 		tier Tier
 		mix  Mix
+		topo Topo
+		pl   Placement
+	}
+	topos := cfg.Topos
+	if len(topos) == 0 {
+		// Implicit single-node grid: identity fields stay empty so the
+		// rows match the pre-topology schema byte for byte.
+		topos = []Topo{{}}
+	}
+	pls := cfg.Placements
+	if len(pls) == 0 {
+		pls = []Placement{{Name: "drl-head"}}
 	}
 	var cells []cell
 	for _, seed := range cfg.Seeds {
 		for _, tier := range cfg.Tiers {
 			for _, mix := range cfg.Mixes {
-				cells = append(cells, cell{seed, tier, mix})
+				for _, topo := range topos {
+					if topo.Nodes <= 1 {
+						cells = append(cells, cell{seed, tier, mix, topo, Placement{}})
+						continue
+					}
+					for _, pl := range pls {
+						cells = append(cells, cell{seed, tier, mix, topo, pl})
+					}
+				}
 			}
 		}
 	}
@@ -250,7 +429,13 @@ func Run(cfg Config) ([]Result, error) {
 	// a closure errors). workers <= 0 selects GOMAXPROCS inside
 	// ForEach.
 	pool.ForEach(len(cells), cfg.Workers, func(i int) error {
-		r, err := runCell(cfg, cells[i].seed, cells[i].tier, cells[i].mix)
+		var r Result
+		var err error
+		if cells[i].topo.Nodes > 1 {
+			r, err = runClusterCell(cfg, cells[i].seed, cells[i].tier, cells[i].mix, cells[i].topo, cells[i].pl)
+		} else {
+			r, err = runCell(cfg, cells[i].seed, cells[i].tier, cells[i].mix, cells[i].topo)
+		}
 		if err != nil {
 			r.Error = err.Error()
 		}

@@ -135,6 +135,82 @@ func TestSweepSmallGrid(t *testing.T) {
 	}
 }
 
+// TestSweepClusterGrid runs a tiny grid with the topology and
+// placement axes and pins the row contract: single-node cells keep
+// the original path but carry the topology name, multi-node cells
+// cross with placements and fill the cluster-only fields, and the
+// topology-less grid emits rows without any of the new keys.
+func TestSweepClusterGrid(t *testing.T) {
+	tiers, err := DefaultTiers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Seeds:        []int64{17},
+		Tiers:        tiers[4:], // ee
+		Mixes:        DefaultMixes()[:1],
+		Topos:        []Topo{{Name: "single", Nodes: 1}, {Name: "hetero-2", Nodes: 2}},
+		Placements:   DefaultPlacements()[:2], // drl-head, ffd+swap
+		TrainSteps:   60,
+		Actors:       1,
+		ControlSteps: 4,
+	}
+	if got := cfg.Cells(); got != 3 {
+		t.Fatalf("Cells() = %d, want 3 (1 single + 2 placements)", got)
+	}
+	results, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("got %d rows, want 3", len(results))
+	}
+	single := results[0]
+	if single.Topology != "single" || single.Nodes != 1 || single.Placement != "" {
+		t.Errorf("single-node row identity wrong: %+v", single)
+	}
+	if single.NodesUsed != 0 || single.LinkEnergyJ != 0 {
+		t.Errorf("single-node row has cluster extras: %+v", single)
+	}
+	wantPl := []string{"drl-head", "ffd+swap"}
+	for i, r := range results[1:] {
+		if r.Topology != "hetero-2" || r.Nodes != 2 || r.Placement != wantPl[i] {
+			t.Errorf("cluster row %d identity wrong: %+v", i, r)
+		}
+		if r.ThroughputGbps <= 0 || r.EnergyJ <= 0 || r.NodesUsed < 1 || r.NodesUsed > 2 {
+			t.Errorf("cluster row %d not measured: %+v", i, r)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, results); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if !strings.Contains(lines[1], `"topology":"hetero-2"`) ||
+		!strings.Contains(lines[1], `"placement":"drl-head"`) {
+		t.Errorf("cluster row missing axis keys: %s", lines[1])
+	}
+
+	// Back-compat: a topology-less grid must emit rows without any of
+	// the new keys.
+	plain := cfg
+	plain.Topos, plain.Placements = nil, nil
+	plainRows, err := Run(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := WriteJSONL(&buf, plainRows); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"topology"`, `"nodes"`, `"placement"`, `"nodes_used"`, `"link_energy_j"`} {
+		if strings.Contains(buf.String(), key) {
+			t.Errorf("topology-less row leaks key %s: %s", key, buf.String())
+		}
+	}
+}
+
 func TestScaleFlows(t *testing.T) {
 	mixes := DefaultMixes()
 	var std, light float64
